@@ -1,0 +1,75 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+* vectorised label-sweep journey kernel vs. the scalar reference,
+* batched all-pairs distance matrix vs. the row-by-row variant,
+* binary-search threshold location vs. the linear sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distances import temporal_distance_matrix, temporal_distance_matrix_reference
+from repro.core.guarantees import minimal_labels_for_reachability, minimal_labels_linear_sweep
+from repro.core.journeys import earliest_arrival_times, earliest_arrival_times_reference
+from repro.core.labeling import normalized_urtn
+from repro.graphs.generators import complete_graph, star_graph
+
+
+@pytest.fixture(scope="module")
+def clique_instance():
+    return normalized_urtn(complete_graph(128, directed=True), seed=21)
+
+
+class TestSingleSourceKernelAblation:
+    def test_bench_vectorised_single_source(self, benchmark, clique_instance):
+        arrival = benchmark(lambda: earliest_arrival_times(clique_instance, 0))
+        assert arrival[0] == 0
+
+    def test_bench_reference_single_source(self, benchmark, clique_instance):
+        arrival = benchmark(lambda: earliest_arrival_times_reference(clique_instance, 0))
+        assert arrival[0] == 0
+
+    def test_kernels_agree(self, clique_instance):
+        fast = earliest_arrival_times(clique_instance, 0)
+        slow = earliest_arrival_times_reference(clique_instance, 0)
+        assert np.array_equal(fast, slow)
+
+
+class TestAllPairsKernelAblation:
+    def test_bench_batched_distance_matrix(self, benchmark, clique_instance):
+        matrix = benchmark(lambda: temporal_distance_matrix(clique_instance))
+        assert matrix.shape[0] == clique_instance.n
+
+    def test_bench_row_by_row_distance_matrix(self, benchmark, clique_instance):
+        matrix = benchmark.pedantic(
+            lambda: temporal_distance_matrix_reference(clique_instance),
+            rounds=1,
+            iterations=1,
+        )
+        assert matrix.shape[0] == clique_instance.n
+
+
+class TestThresholdSearchAblation:
+    def test_bench_binary_search_threshold(self, benchmark):
+        star = star_graph(48)
+        value = benchmark.pedantic(
+            lambda: minimal_labels_for_reachability(
+                star, target_probability=0.8, trials=15, seed=22
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert value >= 2
+
+    def test_bench_linear_sweep_threshold(self, benchmark):
+        star = star_graph(48)
+        value = benchmark.pedantic(
+            lambda: minimal_labels_linear_sweep(
+                star, target_probability=0.8, trials=15, r_max=32, seed=23
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert value >= 2

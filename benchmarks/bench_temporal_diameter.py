@@ -1,0 +1,41 @@
+"""E1 bench — temporal diameter of the normalized U-RT clique (Theorem 4).
+
+Two layers:
+
+* ``test_bench_experiment_e1`` regenerates the E1 table (quick preset) and
+  records whether the measured shape matches the paper;
+* kernel micro-benchmarks time the all-pairs temporal distance sweep that
+  dominates E1's cost, at two clique sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distances import temporal_distance_matrix, temporal_diameter
+from repro.core.labeling import normalized_urtn
+from repro.experiments import exp_temporal_diameter
+from repro.graphs.generators import complete_graph
+
+
+def test_bench_experiment_e1(benchmark, attach_report):
+    report = benchmark.pedantic(
+        lambda: exp_temporal_diameter.run("quick", seed=101), rounds=1, iterations=1
+    )
+    attach_report(benchmark, report)
+    assert report.consistent
+
+
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_bench_temporal_diameter_kernel(benchmark, n):
+    clique = complete_graph(n, directed=True)
+    network = normalized_urtn(clique, seed=5)
+    result = benchmark(lambda: temporal_diameter(network))
+    assert result <= n
+
+
+def test_bench_distance_matrix_clique_192(benchmark):
+    clique = complete_graph(192, directed=True)
+    network = normalized_urtn(clique, seed=6)
+    matrix = benchmark(lambda: temporal_distance_matrix(network))
+    assert matrix.shape == (192, 192)

@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one experiment of DESIGN.md §4 (E1–E7 /
+F1–F3) at its ``quick`` preset — the measured rows are attached to the
+pytest-benchmark ``extra_info`` so they appear in ``--benchmark-json`` output —
+plus micro-benchmarks of the kernels that dominate that experiment's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Benchmarks are only meaningful with --benchmark-only / --benchmark-enable."""
+    del config, items
+
+
+@pytest.fixture
+def attach_report():
+    """Helper: copy the headline numbers of an ExperimentReport into extra_info."""
+
+    def _attach(benchmark, report):
+        benchmark.extra_info["experiment"] = report.experiment_id
+        benchmark.extra_info["consistent_with_paper"] = report.consistent
+        benchmark.extra_info["rows"] = len(report.records)
+        return report
+
+    return _attach

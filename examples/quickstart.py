@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: build a random temporal clique and measure its temporal diameter.
+
+The "hostile clique" of the paper: every arc of the directed clique K_n is
+available at exactly one uniformly random time in {1, …, n}.  Despite that
+hostility, messages spread in Θ(log n) time (Theorem 4) — this script samples
+a few instances, measures the temporal diameter exactly and prints it next to
+log n and the n/2 direct-edge baseline.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro import (
+    complete_graph,
+    flood_broadcast,
+    foremost_journey,
+    normalized_urtn,
+    temporal_diameter,
+)
+from repro.io.tables import format_table
+
+
+def main(n: int = 128, instances: int = 5, seed: int = 2014) -> None:
+    clique = complete_graph(n, directed=True)
+    rows = []
+    for instance in range(instances):
+        network = normalized_urtn(clique, seed=seed + instance)
+        td = temporal_diameter(network)
+        broadcast = flood_broadcast(network, source=0)
+        rows.append(
+            {
+                "instance": instance,
+                "temporal_diameter": td,
+                "TD / log n": td / math.log(n),
+                "broadcast_time_from_0": broadcast.broadcast_time,
+                "direct_wait_baseline": (n + 1) / 2,
+            }
+        )
+    print(format_table(rows, title=f"Normalized uniform random temporal clique, n = {n}"))
+
+    # Show one explicit foremost journey: the multi-hop route is much faster
+    # than waiting for the direct (0, 1) arc.
+    network = normalized_urtn(clique, seed=seed)
+    journey = foremost_journey(network, 0, 1)
+    direct_label = network.labels_of(0, 1)[0]
+    print()
+    print(f"Foremost journey 0 → 1: vertices {journey.vertices()}")
+    print(f"  labels used {journey.labels()}  (arrival {journey.arrival_time})")
+    print(f"  waiting for the direct arc instead would take until t = {direct_label}")
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    main(size)

@@ -1,0 +1,154 @@
+"""repro — reproduction of *Ephemeral Networks with Random Availability of Links*.
+
+A production-quality Python library reproducing Akrida, Gąsieniec, Mertzios &
+Spirakis (SPAA 2014): random ephemeral temporal networks, their temporal
+diameter, the Expansion Process algorithm, reachability guarantees and the
+Price of Randomness — together with the Monte-Carlo experiment harness that
+regenerates every quantitative claim of the paper.
+
+Quickstart
+----------
+>>> from repro import complete_graph, normalized_urtn, temporal_diameter
+>>> clique = complete_graph(64, directed=True)
+>>> network = normalized_urtn(clique, seed=0)
+>>> temporal_diameter(network) <= 64
+True
+
+The public API re-exports the most commonly used pieces; the subpackages
+(:mod:`repro.core`, :mod:`repro.graphs`, :mod:`repro.montecarlo`,
+:mod:`repro.analysis`, :mod:`repro.experiments`, …) expose the full surface.
+"""
+
+from ._version import __version__
+from .exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    ExperimentError,
+    GraphError,
+    InvalidEdgeError,
+    InvalidVertexError,
+    JourneyError,
+    LabelingError,
+    LifetimeError,
+    ReproError,
+    SerializationError,
+    UnreachableVertexError,
+)
+from .types import UNREACHABLE, Journey, TimeEdge
+from .graphs import (
+    StaticGraph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+)
+from .graphs.properties import diameter, is_connected
+from .core import (
+    BroadcastResult,
+    ExpansionParameters,
+    ExpansionResult,
+    FastestJourneyResult,
+    TemporalGraph,
+    box_assignment,
+    earliest_arrival_times,
+    expansion_process,
+    fastest_journey,
+    flood_broadcast,
+    foremost_journey,
+    shortest_journey,
+    is_temporally_connected,
+    minimal_labels_for_reachability,
+    normalized_urtn,
+    opt_labels_star,
+    por_upper_bound_theorem8,
+    preserves_reachability,
+    price_of_randomness,
+    push_phone_call_broadcast,
+    reachability_probability,
+    temporal_diameter,
+    temporal_distance,
+    temporal_distance_matrix,
+    tree_broadcast_assignment,
+    uniform_random_labels,
+)
+from .montecarlo import (
+    Experiment,
+    MonteCarloRunner,
+    ParameterSweep,
+    run_trials,
+    summarize,
+)
+from .experiments import run_experiments, write_experiments_markdown
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "InvalidVertexError",
+    "InvalidEdgeError",
+    "LabelingError",
+    "LifetimeError",
+    "JourneyError",
+    "UnreachableVertexError",
+    "ExperimentError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "SerializationError",
+    # value types
+    "UNREACHABLE",
+    "TimeEdge",
+    "Journey",
+    # static graphs
+    "StaticGraph",
+    "complete_graph",
+    "star_graph",
+    "path_graph",
+    "cycle_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "complete_bipartite_graph",
+    "erdos_renyi_graph",
+    "diameter",
+    "is_connected",
+    # temporal core
+    "TemporalGraph",
+    "uniform_random_labels",
+    "normalized_urtn",
+    "box_assignment",
+    "tree_broadcast_assignment",
+    "earliest_arrival_times",
+    "foremost_journey",
+    "shortest_journey",
+    "fastest_journey",
+    "FastestJourneyResult",
+    "temporal_distance",
+    "temporal_distance_matrix",
+    "temporal_diameter",
+    "is_temporally_connected",
+    "preserves_reachability",
+    "ExpansionParameters",
+    "ExpansionResult",
+    "expansion_process",
+    "BroadcastResult",
+    "flood_broadcast",
+    "push_phone_call_broadcast",
+    "reachability_probability",
+    "minimal_labels_for_reachability",
+    "price_of_randomness",
+    "opt_labels_star",
+    "por_upper_bound_theorem8",
+    # monte carlo
+    "Experiment",
+    "MonteCarloRunner",
+    "ParameterSweep",
+    "run_trials",
+    "summarize",
+    # experiments
+    "run_experiments",
+    "write_experiments_markdown",
+]

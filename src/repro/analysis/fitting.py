@@ -1,0 +1,131 @@
+"""Least-squares fits of the scaling laws appearing in the paper.
+
+The experiments measure, e.g., the temporal diameter as a function of ``n``
+and need the leading constant of the ``c·log n + b`` law (Theorem 4) or the
+``c·(a/n)·log n`` law (Theorem 5).  These are linear least-squares problems in
+the transformed covariate, solved with :func:`numpy.linalg.lstsq`; the power
+law fit linearises through logarithms and is used to check that the measured
+growth is indeed logarithmic rather than polynomial (the fitted exponent
+should be close to 0 against ``n``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["FitResult", "fit_log_model", "fit_scaled_log_model", "fit_power_model"]
+
+
+@dataclass(frozen=True, slots=True)
+class FitResult:
+    """Outcome of a least-squares fit.
+
+    Attributes
+    ----------
+    model:
+        Human-readable description of the fitted functional form.
+    coefficients:
+        Fitted coefficients, in the order documented by the fitting function.
+    r_squared:
+        Coefficient of determination on the fitting data.
+    """
+
+    model: str
+    coefficients: tuple[float, ...]
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted model at a single covariate value."""
+        if self.model.startswith("y = c*log(x) + b"):
+            c, b = self.coefficients
+            return c * math.log(x) + b
+        if self.model.startswith("y = c*x + b"):
+            c, b = self.coefficients
+            return c * x + b
+        if self.model.startswith("y = c*x^k"):
+            c, k = self.coefficients
+            return c * x**k
+        raise ValueError(f"unknown model {self.model!r}")
+
+
+def _validate_xy(x: Sequence[float], y: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x_arr = np.asarray(list(x), dtype=np.float64)
+    y_arr = np.asarray(list(y), dtype=np.float64)
+    if x_arr.size != y_arr.size:
+        raise ValueError(
+            f"x and y must have the same length, got {x_arr.size} and {y_arr.size}"
+        )
+    if x_arr.size < 2:
+        raise ValueError("fitting needs at least two points")
+    return x_arr, y_arr
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def fit_log_model(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = c·log(x) + b``; coefficients are ``(c, b)``.
+
+    This is the Theorem 4 check: the measured temporal diameter against ``n``
+    should produce a positive ``c`` with a high ``r_squared``.
+    """
+    x_arr, y_arr = _validate_xy(x, y)
+    if np.any(x_arr <= 0):
+        raise ValueError("the logarithmic model requires positive x values")
+    design = np.stack([np.log(x_arr), np.ones_like(x_arr)], axis=1)
+    coef, *_ = np.linalg.lstsq(design, y_arr, rcond=None)
+    predicted = design @ coef
+    return FitResult(
+        model="y = c*log(x) + b",
+        coefficients=(float(coef[0]), float(coef[1])),
+        r_squared=_r_squared(y_arr, predicted),
+    )
+
+
+def fit_scaled_log_model(
+    scaled_x: Sequence[float], y: Sequence[float]
+) -> FitResult:
+    """Fit ``y = c·x + b`` on an already-transformed covariate.
+
+    The Theorem 5 experiment passes ``x = (a/n)·log n`` so the fitted ``c`` is
+    the leading constant of the ``Ω((a/n)·log n)`` law.
+    """
+    x_arr, y_arr = _validate_xy(scaled_x, y)
+    design = np.stack([x_arr, np.ones_like(x_arr)], axis=1)
+    coef, *_ = np.linalg.lstsq(design, y_arr, rcond=None)
+    predicted = design @ coef
+    return FitResult(
+        model="y = c*x + b",
+        coefficients=(float(coef[0]), float(coef[1])),
+        r_squared=_r_squared(y_arr, predicted),
+    )
+
+
+def fit_power_model(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = c·x^k`` through log–log linear regression; coefficients ``(c, k)``.
+
+    Used as a sanity check that measured growth is sub-polynomial: fitting the
+    temporal diameter against ``n`` should give an exponent ``k`` close to 0
+    (whereas the trivial wait-for-the-direct-edge strategy gives ``k ≈ 1``).
+    """
+    x_arr, y_arr = _validate_xy(x, y)
+    if np.any(x_arr <= 0) or np.any(y_arr <= 0):
+        raise ValueError("the power model requires strictly positive x and y values")
+    design = np.stack([np.log(x_arr), np.ones_like(x_arr)], axis=1)
+    coef, *_ = np.linalg.lstsq(design, np.log(y_arr), rcond=None)
+    k, log_c = float(coef[0]), float(coef[1])
+    predicted = np.exp(design @ coef)
+    return FitResult(
+        model="y = c*x^k",
+        coefficients=(float(math.exp(log_c)), k),
+        r_squared=_r_squared(y_arr, predicted),
+    )

@@ -1,0 +1,87 @@
+"""Threshold estimation for monotone probability curves.
+
+Two of the experiments locate thresholds in monotone curves: E5 finds the
+number of labels per edge at which the star becomes temporally reachable whp,
+and E7 finds the edge probability at which ``G(n, p)`` becomes connected.
+Both reduce to the same primitive: given a monotone (up to Monte-Carlo noise)
+sequence of probabilities measured on a grid, return the grid point where the
+curve first crosses a target level, optionally with linear interpolation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..utils.validation import check_probability
+
+__all__ = ["monotone_threshold_index", "estimate_probability_threshold"]
+
+
+def monotone_threshold_index(
+    probabilities: Sequence[float], target: float
+) -> int | None:
+    """Index of the first probability ``>= target`` after isotonic smoothing.
+
+    The raw Monte-Carlo estimates may dip non-monotonically; a running maximum
+    (the simplest isotonic regression from the left) removes those dips before
+    the crossing is located.  Returns ``None`` when the curve never reaches the
+    target.
+    """
+    target = check_probability(target, "target")
+    values = np.asarray(list(probabilities), dtype=np.float64)
+    if values.size == 0:
+        return None
+    smoothed = np.maximum.accumulate(values)
+    crossing = np.flatnonzero(smoothed >= target)
+    if crossing.size == 0:
+        return None
+    return int(crossing[0])
+
+
+def estimate_probability_threshold(
+    grid: Sequence[float],
+    probabilities: Sequence[float],
+    *,
+    target: float = 0.5,
+    interpolate: bool = True,
+) -> float | None:
+    """Location on ``grid`` where the probability curve crosses ``target``.
+
+    Parameters
+    ----------
+    grid:
+        Monotonically increasing parameter values (e.g. ``r`` or ``p``).
+    probabilities:
+        Measured probabilities at the corresponding grid points.
+    target:
+        Crossing level.
+    interpolate:
+        When True, linearly interpolate between the bracketing grid points for
+        a smoother estimate; otherwise return the first grid point at/above the
+        target.
+
+    Returns ``None`` if the curve never reaches the target.
+    """
+    grid_arr = np.asarray(list(grid), dtype=np.float64)
+    prob_arr = np.asarray(list(probabilities), dtype=np.float64)
+    if grid_arr.size != prob_arr.size:
+        raise ValueError(
+            f"grid and probabilities must have the same length, got {grid_arr.size} "
+            f"and {prob_arr.size}"
+        )
+    if np.any(np.diff(grid_arr) <= 0):
+        raise ValueError("grid values must be strictly increasing")
+    index = monotone_threshold_index(prob_arr, target)
+    if index is None:
+        return None
+    if not interpolate or index == 0:
+        return float(grid_arr[index])
+    smoothed = np.maximum.accumulate(prob_arr)
+    x0, x1 = grid_arr[index - 1], grid_arr[index]
+    y0, y1 = smoothed[index - 1], smoothed[index]
+    if y1 == y0:
+        return float(x1)
+    fraction = (target - y0) / (y1 - y0)
+    return float(x0 + fraction * (x1 - x0))

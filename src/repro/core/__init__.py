@@ -1,0 +1,116 @@
+"""The paper's primary contribution: random ephemeral temporal networks.
+
+This subpackage implements:
+
+* :class:`TemporalGraph` — an ephemeral temporal network ``(G, L)``
+  (Definition 1): an underlying static (di)graph plus a set of discrete time
+  labels per edge, bounded by the *lifetime* ``a``;
+* label assignment strategies (:mod:`repro.core.labeling`) — the uniform
+  random single-label U-RTN of Definition 4, multi-label random assignments,
+  and the deterministic constructions used as baselines (box assignment of
+  Section 5, spanning-tree broadcast assignment);
+* journey machinery (:mod:`repro.core.journeys`,
+  :mod:`repro.core.distances`) — foremost journeys, temporal distances and the
+  temporal diameter (Definitions 2–5);
+* the Expansion Process of Algorithm 1 (:mod:`repro.core.expansion`);
+* the flooding dissemination protocol of §3.5 and the random phone-call
+  baseline (:mod:`repro.core.dissemination`);
+* reachability guarantees and the empirical ``r(n)``
+  (:mod:`repro.core.guarantees`);
+* the Price of Randomness (:mod:`repro.core.price_of_randomness`);
+* lifetime-scaling analysis for Theorem 5 (:mod:`repro.core.lifetime`).
+"""
+
+from .temporal_graph import TemporalGraph
+from .labeling import (
+    assign_deterministic_labels,
+    box_assignment,
+    normalized_urtn,
+    tree_broadcast_assignment,
+    uniform_random_labels,
+)
+from .journeys import (
+    earliest_arrival_times,
+    foremost_journey,
+    foremost_journey_tree,
+    temporal_distance,
+)
+from .journey_variants import FastestJourneyResult, fastest_journey, shortest_journey
+from .distances import (
+    average_temporal_distance,
+    temporal_diameter,
+    temporal_distance_matrix,
+    temporal_eccentricities,
+    temporal_radius,
+)
+from .reachability import (
+    is_temporally_connected,
+    preserves_reachability,
+    reachability_matrix,
+    reachable_fraction,
+    reachable_set,
+)
+from .expansion import ExpansionParameters, ExpansionResult, expansion_process
+from .dissemination import (
+    BroadcastResult,
+    flood_broadcast,
+    push_phone_call_broadcast,
+)
+from .guarantees import (
+    minimal_labels_for_reachability,
+    reachability_probability,
+    two_split_journey_probability,
+)
+from .price_of_randomness import (
+    opt_labels_lower_bound,
+    opt_labels_star,
+    opt_labels_upper_bound,
+    por_upper_bound_theorem8,
+    price_of_randomness,
+)
+from .lifetime import (
+    prefix_connectivity_time,
+    temporal_diameter_lower_bound_theorem5,
+)
+
+__all__ = [
+    "TemporalGraph",
+    "uniform_random_labels",
+    "normalized_urtn",
+    "box_assignment",
+    "tree_broadcast_assignment",
+    "assign_deterministic_labels",
+    "earliest_arrival_times",
+    "foremost_journey",
+    "foremost_journey_tree",
+    "temporal_distance",
+    "shortest_journey",
+    "fastest_journey",
+    "FastestJourneyResult",
+    "temporal_distance_matrix",
+    "temporal_diameter",
+    "temporal_eccentricities",
+    "temporal_radius",
+    "average_temporal_distance",
+    "reachability_matrix",
+    "reachable_set",
+    "reachable_fraction",
+    "is_temporally_connected",
+    "preserves_reachability",
+    "ExpansionParameters",
+    "ExpansionResult",
+    "expansion_process",
+    "BroadcastResult",
+    "flood_broadcast",
+    "push_phone_call_broadcast",
+    "reachability_probability",
+    "minimal_labels_for_reachability",
+    "two_split_journey_probability",
+    "price_of_randomness",
+    "opt_labels_star",
+    "opt_labels_lower_bound",
+    "opt_labels_upper_bound",
+    "por_upper_bound_theorem8",
+    "prefix_connectivity_time",
+    "temporal_diameter_lower_bound_theorem5",
+]

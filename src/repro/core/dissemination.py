@@ -1,0 +1,158 @@
+"""Message dissemination protocols.
+
+Section 3.5 of the paper considers the hostile clique and the natural flooding
+protocol: *"∀u, if u has the message, then when an arc out of u becomes
+available, send the message through that arc."*  Under journey semantics a
+vertex informed at time τ can forward over an arc labelled ``l`` exactly when
+``τ < l``, so the informed-at times of the flooding protocol coincide with the
+foremost-journey arrival times out of the source; the broadcast time is the
+source's temporal eccentricity, which Theorem 4 bounds by ``O(log n)`` whp.
+
+For comparison with the literature discussed in §1.1 the classic *random
+phone-call push* protocol is also implemented: in every synchronous round each
+informed vertex calls one uniformly random other vertex.  The paper's point is
+that its model is *weaker* (randomness lives in the input labels, not in the
+protocol) yet achieves the same ``Θ(log n)`` broadcast time on the clique —
+the experiment layer puts the two curves side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import UNREACHABLE
+from ..utils.seeding import SeedLike, normalize_rng
+from ..utils.validation import check_positive_int
+from .journeys import earliest_arrival_times
+from .temporal_graph import TemporalGraph
+
+__all__ = ["BroadcastResult", "flood_broadcast", "push_phone_call_broadcast"]
+
+
+@dataclass(frozen=True, slots=True)
+class BroadcastResult:
+    """Outcome of a broadcast from a single source.
+
+    Attributes
+    ----------
+    source:
+        The originating vertex.
+    arrival_times:
+        Time at which each vertex became informed
+        (:data:`~repro.types.UNREACHABLE` if never informed; the source has
+        time 0).
+    broadcast_time:
+        Time at which the last vertex became informed, or
+        :data:`~repro.types.UNREACHABLE` if some vertex was never informed.
+    num_transmissions:
+        Total number of message transmissions performed by the protocol.
+    """
+
+    source: int
+    arrival_times: np.ndarray
+    broadcast_time: int
+    num_transmissions: int
+
+    @property
+    def informed_count(self) -> int:
+        """Number of vertices that eventually received the message."""
+        return int(np.count_nonzero(self.arrival_times < UNREACHABLE))
+
+    @property
+    def informed_fraction(self) -> float:
+        """Fraction of vertices that eventually received the message."""
+        return self.informed_count / self.arrival_times.size
+
+    @property
+    def completed(self) -> bool:
+        """Whether every vertex was informed."""
+        return self.broadcast_time < UNREACHABLE
+
+
+def flood_broadcast(network: TemporalGraph, source: int) -> BroadcastResult:
+    """Run the §3.5 flooding protocol from ``source`` on a temporal network.
+
+    Every informed vertex forwards the message on each of its out-going time
+    arcs whose label is strictly later than the time the vertex became
+    informed.  The number of transmissions counts every such forwarding (even
+    towards already-informed vertices), matching the protocol's behaviour of
+    sending blindly whenever an arc becomes available.
+    """
+    arrival = earliest_arrival_times(network, source)
+    if network.n <= 1:
+        broadcast_time = 0
+    elif bool(np.all(arrival < UNREACHABLE)):
+        broadcast_time = int(arrival.max())
+    else:
+        broadcast_time = UNREACHABLE
+    # A transmission happens on every time arc whose tail was informed before
+    # the arc's availability time.
+    tails = network.time_arc_tails
+    labels = network.time_arc_labels
+    transmissions = int(np.count_nonzero(arrival[tails] < labels))
+    return BroadcastResult(
+        source=int(source),
+        arrival_times=arrival,
+        broadcast_time=broadcast_time,
+        num_transmissions=transmissions,
+    )
+
+
+def push_phone_call_broadcast(
+    n: int,
+    *,
+    source: int = 0,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> BroadcastResult:
+    """The classic random phone-call *push* protocol on the complete graph.
+
+    In every synchronous round each informed vertex calls one other vertex
+    chosen uniformly at random and pushes the message.  The protocol stops
+    when everyone is informed (or after ``max_rounds``).  Known to take
+    ``log₂ n + ln n + o(log n)`` rounds whp (Frieze & Grimmett; Pittel) — the
+    baseline the paper compares its model against in §1.1.
+
+    Returns
+    -------
+    BroadcastResult
+        ``arrival_times[v]`` is the round in which ``v`` was informed
+        (0 for the source); ``num_transmissions`` counts one transmission per
+        informed vertex per round.
+    """
+    n = check_positive_int(n, "n")
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} is not a vertex of a clique with {n} vertices")
+    rng = normalize_rng(seed)
+    if max_rounds is None:
+        # Generous cap: the protocol needs ~log2 n + ln n rounds whp.
+        max_rounds = max(16, int(8 * np.log2(max(n, 2)) + 16))
+
+    arrival = np.full(n, UNREACHABLE, dtype=np.int64)
+    arrival[source] = 0
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    transmissions = 0
+    round_index = 0
+    while not informed.all() and round_index < max_rounds:
+        round_index += 1
+        callers = np.flatnonzero(informed)
+        transmissions += callers.size
+        # Each caller picks a uniformly random vertex different from itself.
+        targets = rng.integers(0, n - 1, size=callers.size)
+        targets = np.where(targets >= callers, targets + 1, targets)
+        newly = targets[~informed[targets]]
+        if newly.size:
+            informed[newly] = True
+            # A vertex called by several informed vertices in the same round is
+            # informed once; np.minimum keeps the earliest round.
+            np.minimum.at(arrival, newly, round_index)
+    broadcast_time = int(arrival.max()) if informed.all() else UNREACHABLE
+    return BroadcastResult(
+        source=int(source),
+        arrival_times=arrival,
+        broadcast_time=broadcast_time,
+        num_transmissions=int(transmissions),
+    )

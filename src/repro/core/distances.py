@@ -1,0 +1,160 @@
+"""All-pairs temporal distances and the temporal diameter (Definition 5).
+
+The temporal distance matrix is computed by sweeping the time arcs in
+ascending label order while maintaining the full ``(sources × vertices)``
+arrival matrix.  For each label value the update is a batched boolean
+reduction over the arcs carrying that label (an ``logical_or.reduceat`` per
+head vertex), so the per-label work is a handful of vectorised NumPy
+operations instead of a Python loop over sources × arcs.  On the normalized
+random clique this makes exact all-pairs temporal distances for ``n`` in the
+hundreds take well under a second.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..types import UNREACHABLE, as_vertex_array
+from .journeys import earliest_arrival_times
+from .temporal_graph import TemporalGraph
+
+__all__ = [
+    "temporal_distance_matrix",
+    "temporal_distance_matrix_reference",
+    "temporal_eccentricities",
+    "temporal_diameter",
+    "temporal_radius",
+    "average_temporal_distance",
+]
+
+
+def temporal_distance_matrix(
+    network: TemporalGraph, sources: Sequence[int] | None = None
+) -> np.ndarray:
+    """Temporal distances δ(s, v) for every requested source ``s``.
+
+    Parameters
+    ----------
+    network:
+        The temporal network.
+    sources:
+        Sources to compute rows for; defaults to all vertices.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(len(sources), n)`` ``int64`` matrix.  Entry ``[i, v]`` is the
+        earliest arrival at ``v`` from ``sources[i]`` (0 on the diagonal,
+        :data:`~repro.types.UNREACHABLE` when no journey exists).
+    """
+    n = network.n
+    if sources is None:
+        source_arr = np.arange(n, dtype=np.int64)
+    else:
+        source_arr = as_vertex_array(sources, n)
+    num_sources = source_arr.size
+    arrival = np.full((num_sources, n), UNREACHABLE, dtype=np.int64)
+    arrival[np.arange(num_sources), source_arr] = 0
+    if network.num_time_arcs == 0 or num_sources == 0:
+        return arrival
+
+    labels = network.time_arc_labels
+    tails = network.time_arc_tails
+    heads = network.time_arc_heads
+    # Sort arcs by (label, head) so that, inside each label group, arcs sharing
+    # a head are contiguous and can be OR-reduced with a single reduceat call.
+    order = np.lexsort((heads, labels))
+    labels = labels[order]
+    tails = tails[order]
+    heads = heads[order]
+
+    unique_labels, group_starts = np.unique(labels, return_index=True)
+    group_ends = np.append(group_starts[1:], labels.size)
+    for label, lo, hi in zip(
+        unique_labels.tolist(), group_starts.tolist(), group_ends.tolist()
+    ):
+        group_tails = tails[lo:hi]
+        group_heads = heads[lo:hi]
+        # Which sources can forward over each arc of this label group.
+        reachable = arrival[:, group_tails] < label
+        if not reachable.any():
+            continue
+        head_values, head_starts = np.unique(group_heads, return_index=True)
+        if head_values.size == group_heads.size:
+            any_reachable = reachable
+        else:
+            any_reachable = np.logical_or.reduceat(reachable, head_starts, axis=1)
+        current = arrival[:, head_values]
+        improved = any_reachable & (current > label)
+        if improved.any():
+            arrival[:, head_values] = np.where(improved, label, current)
+    return arrival
+
+
+def temporal_distance_matrix_reference(
+    network: TemporalGraph, sources: Sequence[int] | None = None
+) -> np.ndarray:
+    """Row-by-row reference implementation (one single-source sweep per row)."""
+    n = network.n
+    if sources is None:
+        source_list = list(range(n))
+    else:
+        source_list = [int(s) for s in as_vertex_array(sources, n)]
+    rows = [earliest_arrival_times(network, s) for s in source_list]
+    if not rows:
+        return np.empty((0, n), dtype=np.int64)
+    return np.stack(rows, axis=0)
+
+
+def temporal_eccentricities(network: TemporalGraph) -> np.ndarray:
+    """Temporal eccentricity of every vertex: ``max_v δ(s, v)``.
+
+    The maximum includes unreachable targets, so a vertex that cannot reach
+    the whole graph has eccentricity :data:`~repro.types.UNREACHABLE`.
+    """
+    matrix = temporal_distance_matrix(network)
+    if network.n <= 1:
+        return np.zeros(network.n, dtype=np.int64)
+    # Exclude the diagonal (distance to self is 0 and would hide unreachability
+    # only in the degenerate n == 1 case anyway, but be explicit).
+    masked = matrix.copy()
+    np.fill_diagonal(masked, 0)
+    return masked.max(axis=1)
+
+
+def temporal_diameter(network: TemporalGraph) -> int:
+    """The temporal diameter: ``max_{s,t} δ(s, t)`` for this instance.
+
+    Definition 5 of the paper defines the Temporal Diameter of the *random*
+    clique as the expectation of this quantity over instances; the Monte-Carlo
+    layer estimates that expectation by averaging this per-instance value.
+
+    Returns :data:`~repro.types.UNREACHABLE` when some ordered pair has no
+    journey.
+    """
+    if network.n <= 1:
+        return 0
+    return int(temporal_eccentricities(network).max())
+
+
+def temporal_radius(network: TemporalGraph) -> int:
+    """The minimum temporal eccentricity over all vertices."""
+    if network.n <= 1:
+        return 0
+    return int(temporal_eccentricities(network).min())
+
+
+def average_temporal_distance(network: TemporalGraph) -> float:
+    """Mean δ(s, t) over ordered pairs ``s ≠ t`` with a journey.
+
+    Returns ``nan`` when no ordered pair is temporally reachable.
+    """
+    if network.n <= 1:
+        return 0.0
+    matrix = temporal_distance_matrix(network).astype(np.float64)
+    mask = ~np.eye(network.n, dtype=bool) & (matrix < UNREACHABLE)
+    if not mask.any():
+        return float("nan")
+    return float(matrix[mask].mean())

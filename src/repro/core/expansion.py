@@ -1,0 +1,340 @@
+"""The Expansion Process of Algorithm 1.
+
+Given an instance of the directed normalized uniform random temporal clique,
+the algorithm grows a forward frontier out of the source ``s`` and a backward
+frontier into the target ``t``, each layer using labels from a dedicated
+interval:
+
+* ``∆_1 = (0, c₁·log n]`` for the first forward layer,
+* ``∆_i = (c₁·log n + (i−2)·c₂, c₁·log n + (i−1)·c₂]`` for forward layers
+  ``i = 2 … d+1``,
+* ``∆* = (c₁·log n + d·c₂, 2·c₁·log n + d·c₂]`` for the matching edge,
+* ``∆'_i = (2·c₁·log n + (2d−i+1)·c₂, 2·c₁·log n + (2d−i+2)·c₂]`` for
+  backward layers ``i = 2 … d+1``, and
+* ``∆'_1 = (2·c₁·log n + 2d·c₂, 3·c₁·log n + 2d·c₂]`` for the last hop into
+  ``t``.
+
+If the two frontiers can be matched by an arc labelled in ``∆*``, the
+concatenated journey arrives by time ``3·c₁·log n + 2·d·c₂ = Θ(log n)``
+(Theorem 3).  The implementation records the layer sizes (``|Γ_i(s)|``,
+``|Γ'_i(t)|``) so the experiment layer can regenerate the Figure 1 trace, and
+reconstructs the explicit journey on success.
+
+The paper's constants (``c₁ ≥ 33``, ``c₁·c₂ ≥ 1024``) are what the
+probability-1−O(n⁻³) guarantee needs asymptotically; at laptop-scale ``n``
+those intervals would exceed the lifetime, so :meth:`ExpansionParameters.suggest`
+picks practical constants (documented in DESIGN.md §5) while keeping the
+interval structure exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ExperimentError, GraphError
+from ..types import Journey, TimeEdge
+from .temporal_graph import TemporalGraph
+
+__all__ = ["ExpansionParameters", "ExpansionResult", "expansion_process"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExpansionParameters:
+    """Constants of Algorithm 1: the interval widths ``c₁``, ``c₂`` and depth ``d``."""
+
+    c1: float
+    c2: float
+    d: int
+
+    def __post_init__(self) -> None:
+        if self.c1 <= 0 or self.c2 <= 0:
+            raise ValueError("c1 and c2 must be positive")
+        if self.d < 1:
+            raise ValueError("the expansion depth d must be at least 1")
+
+    @classmethod
+    def suggest(cls, n: int, *, c1: float = 3.0, c2: float = 8.0) -> "ExpansionParameters":
+        """Pick a depth ``d`` so the expansion reaches ≈√n vertices.
+
+        Mirrors the paper's choice ``(c₂/8)^d · c₁·log n ≈ √n`` but uses the
+        *expected* per-layer growth factor (≈ ``c₂/2`` for small layers) so
+        the resulting intervals stay well inside the lifetime at practical
+        ``n``.
+        """
+        if n < 4:
+            raise ValueError(f"the expansion process needs n >= 4, got {n}")
+        log_n = math.log(n)
+        base_layer = c1 * log_n
+        growth = max(c2 / 2.0, 1.5)
+        target = math.sqrt(n)
+        if base_layer >= target:
+            d = 1
+        else:
+            d = max(1, math.ceil(math.log(target / base_layer) / math.log(growth)))
+        return cls(c1=c1, c2=c2, d=d)
+
+    def time_bound(self, n: int) -> float:
+        """The arrival-time bound ``3·c₁·log n + 2·d·c₂`` of the Note in §3."""
+        return 3.0 * self.c1 * math.log(n) + 2.0 * self.d * self.c2
+
+    # ------------------------------------------------------------------ #
+    # interval bookkeeping (all intervals are half-open (low, high])
+    # ------------------------------------------------------------------ #
+    def forward_interval(self, n: int, i: int) -> tuple[float, float]:
+        """The interval ``∆_i`` for forward layer ``i`` (1-based, up to d+1)."""
+        if not 1 <= i <= self.d + 1:
+            raise ValueError(f"forward layer index must be in [1, {self.d + 1}], got {i}")
+        c1_log = self.c1 * math.log(n)
+        if i == 1:
+            return (0.0, c1_log)
+        return (c1_log + (i - 2) * self.c2, c1_log + (i - 1) * self.c2)
+
+    def matching_interval(self, n: int) -> tuple[float, float]:
+        """The interval ``∆*`` for the matching edge."""
+        c1_log = self.c1 * math.log(n)
+        return (c1_log + self.d * self.c2, 2.0 * c1_log + self.d * self.c2)
+
+    def backward_interval(self, n: int, i: int) -> tuple[float, float]:
+        """The interval ``∆'_i`` for backward layer ``i`` (1-based, up to d+1)."""
+        if not 1 <= i <= self.d + 1:
+            raise ValueError(f"backward layer index must be in [1, {self.d + 1}], got {i}")
+        c1_log = self.c1 * math.log(n)
+        base = 2.0 * c1_log
+        if i == 1:
+            return (base + 2 * self.d * self.c2, 3.0 * c1_log + 2 * self.d * self.c2)
+        return (
+            base + (2 * self.d - i + 1) * self.c2,
+            base + (2 * self.d - i + 2) * self.c2,
+        )
+
+
+@dataclass(slots=True)
+class ExpansionResult:
+    """Outcome of one run of the Expansion Process.
+
+    Attributes
+    ----------
+    success:
+        Whether a matching edge was found (line 8 of Algorithm 1).
+    journey:
+        The explicit s→t journey on success, ``None`` on failure.
+    arrival_time:
+        The journey's arrival time on success, ``None`` on failure.
+    forward_layer_sizes / backward_layer_sizes:
+        ``|Γ_i(s)|`` and ``|Γ'_i(t)|`` for ``i = 1 … d+1`` — the measured
+        counterpart of the Figure 1 diagram.
+    forward_layers / backward_layers:
+        The actual vertex sets of each layer (lists of vertex indices).
+    parameters / time_bound:
+        The constants used and the analytic bound ``3c₁ log n + 2dc₂``.
+    """
+
+    success: bool
+    journey: Journey | None
+    arrival_time: int | None
+    forward_layer_sizes: list[int]
+    backward_layer_sizes: list[int]
+    forward_layers: list[list[int]] = field(repr=False)
+    backward_layers: list[list[int]] = field(repr=False)
+    parameters: ExpansionParameters = field(repr=False)
+    time_bound: float = 0.0
+
+
+def _label_lookup(network: TemporalGraph) -> dict[tuple[int, int], int]:
+    """Map (tail, head) → smallest label of that arc (single-label cliques have one)."""
+    lookup: dict[tuple[int, int], int] = {}
+    tails = network.time_arc_tails.tolist()
+    heads = network.time_arc_heads.tolist()
+    labels = network.time_arc_labels.tolist()
+    for u, v, label in zip(tails, heads, labels):
+        key = (u, v)
+        if key not in lookup or label < lookup[key]:
+            lookup[key] = label
+    return lookup
+
+
+def expansion_process(
+    network: TemporalGraph,
+    source: int,
+    target: int,
+    parameters: ExpansionParameters | None = None,
+) -> ExpansionResult:
+    """Run Algorithm 1 on an instance of the random temporal clique.
+
+    Parameters
+    ----------
+    network:
+        A temporal network whose underlying graph is the (directed or
+        undirected) clique with exactly one label per arc/edge — the
+        normalized U-RTN of Section 3.  Undirected cliques are accepted
+        (Remark 1: the analysis carries over).
+    source, target:
+        The vertices ``s`` and ``t``.
+    parameters:
+        Algorithm constants; defaults to :meth:`ExpansionParameters.suggest`.
+
+    Returns
+    -------
+    ExpansionResult
+
+    Raises
+    ------
+    GraphError
+        If the underlying graph is not a clique.
+    ExperimentError
+        If ``source == target``.
+    """
+    n = network.n
+    if source == target:
+        raise ExperimentError("the expansion process needs two distinct vertices")
+    expected_m = n * (n - 1) if network.directed else n * (n - 1) // 2
+    if network.m != expected_m:
+        raise GraphError(
+            "the expansion process is defined on the complete graph; got "
+            f"m={network.m}, expected {expected_m}"
+        )
+    if parameters is None:
+        parameters = ExpansionParameters.suggest(n)
+
+    labels = _label_lookup(network)
+    d = parameters.d
+
+    def arcs_in_interval(tail_set: set[int], interval: tuple[float, float]) -> dict[int, tuple[int, int]]:
+        """Heads reachable from ``tail_set`` by arcs labelled inside ``interval``.
+
+        Returns ``head → (tail, label)`` choosing an arbitrary witness arc.
+        """
+        low, high = interval
+        found: dict[int, tuple[int, int]] = {}
+        for tail in tail_set:
+            for head in range(n):
+                if head == tail:
+                    continue
+                label = labels.get((tail, head))
+                if label is None:
+                    continue
+                if low < label <= high and head not in found:
+                    found[head] = (tail, label)
+        return found
+
+    def arcs_into_interval(head_set: set[int], interval: tuple[float, float]) -> dict[int, tuple[int, int]]:
+        """Tails that can reach ``head_set`` by arcs labelled inside ``interval``.
+
+        Returns ``tail → (head, label)``.
+        """
+        low, high = interval
+        found: dict[int, tuple[int, int]] = {}
+        for head in head_set:
+            for tail in range(n):
+                if tail == head:
+                    continue
+                label = labels.get((tail, head))
+                if label is None:
+                    continue
+                if low < label <= high and tail not in found:
+                    found[tail] = (head, label)
+        return found
+
+    # ------------------------------------------------------------------ #
+    # forward expansion out of s (lines 2-4)
+    # ------------------------------------------------------------------ #
+    forward_layers: list[list[int]] = []
+    forward_parent: dict[int, tuple[int, int]] = {}
+    seen_forward: set[int] = {source}
+    frontier: set[int] = {source}
+    for i in range(1, d + 2):
+        interval = parameters.forward_interval(n, i)
+        candidates = arcs_in_interval(frontier, interval)
+        layer = {v: w for v, w in candidates.items() if v not in seen_forward and v != target}
+        forward_parent.update(layer)
+        frontier = set(layer)
+        seen_forward |= frontier
+        forward_layers.append(sorted(frontier))
+        if not frontier:
+            break
+    while len(forward_layers) < d + 1:
+        forward_layers.append([])
+
+    # ------------------------------------------------------------------ #
+    # backward expansion into t (lines 5-7)
+    # ------------------------------------------------------------------ #
+    backward_layers: list[list[int]] = []
+    backward_next: dict[int, tuple[int, int]] = {}
+    seen_backward: set[int] = {target}
+    frontier = {target}
+    for i in range(1, d + 2):
+        interval = parameters.backward_interval(n, i)
+        candidates = arcs_into_interval(frontier, interval)
+        layer = {v: w for v, w in candidates.items() if v not in seen_backward and v != source}
+        backward_next.update(layer)
+        frontier = set(layer)
+        seen_backward |= frontier
+        backward_layers.append(sorted(frontier))
+        if not frontier:
+            break
+    while len(backward_layers) < d + 1:
+        backward_layers.append([])
+
+    result_common = dict(
+        forward_layer_sizes=[len(layer) for layer in forward_layers],
+        backward_layer_sizes=[len(layer) for layer in backward_layers],
+        forward_layers=forward_layers,
+        backward_layers=backward_layers,
+        parameters=parameters,
+        time_bound=parameters.time_bound(n),
+    )
+
+    # ------------------------------------------------------------------ #
+    # matching step (line 8)
+    # ------------------------------------------------------------------ #
+    matching_interval = parameters.matching_interval(n)
+    low, high = matching_interval
+    last_forward = forward_layers[d] if len(forward_layers) > d else []
+    last_backward = backward_layers[d] if len(backward_layers) > d else []
+    match: tuple[int, int, int] | None = None
+    for u in last_forward:
+        for v in last_backward:
+            if u == v:
+                continue
+            label = labels.get((u, v))
+            if label is not None and low < label <= high:
+                match = (u, v, label)
+                break
+        if match is not None:
+            break
+
+    if match is None:
+        return ExpansionResult(
+            success=False, journey=None, arrival_time=None, **result_common
+        )
+
+    # ------------------------------------------------------------------ #
+    # journey reconstruction (line 9)
+    # ------------------------------------------------------------------ #
+    u, v, matching_label = match
+    forward_hops: list[TimeEdge] = []
+    current = u
+    while current != source:
+        parent, label = forward_parent[current]
+        forward_hops.append(TimeEdge(parent, current, label))
+        current = parent
+    forward_hops.reverse()
+
+    backward_hops: list[TimeEdge] = []
+    current = v
+    while current != target:
+        nxt, label = backward_next[current]
+        backward_hops.append(TimeEdge(current, nxt, label))
+        current = nxt
+
+    hops = tuple(forward_hops + [TimeEdge(u, v, matching_label)] + backward_hops)
+    journey = Journey(source, target, hops)
+    return ExpansionResult(
+        success=True,
+        journey=journey,
+        arrival_time=journey.arrival_time,
+        **result_common,
+    )

@@ -1,0 +1,200 @@
+"""Shortest and fastest journeys — the other two classic journey objectives.
+
+The paper's journeys are *foremost* (minimum arrival time, Definition 3); the
+dynamic-network literature it builds on (Bui-Xuan, Ferreira & Jarry, cited as
+[6]) also studies *shortest* journeys (fewest hops) and *fastest* journeys
+(minimum duration, i.e. arrival − departure).  Both are useful companions when
+analysing the random temporal clique — e.g. the Expansion Process journeys are
+short in hops but not foremost, and the fastest journey quantifies how long a
+message actually spends in transit — so the library implements all three.
+
+Algorithms
+----------
+* :func:`shortest_journey` runs a hop-bounded dynamic programme: for every hop
+  count ``k`` it keeps the earliest arrival achievable at each vertex using at
+  most ``k`` hops.  Keeping the minimum arrival per vertex is sufficient
+  because an earlier arrival can always mimic any continuation of a later one.
+* :func:`fastest_journey` scans the possible departure times (the labels of
+  the arcs leaving the source) and, for each, reuses the foremost-journey
+  kernel restricted to labels strictly greater than ``departure − 1``; the
+  best ``arrival − departure`` over all departures is the minimum duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import UnreachableVertexError
+from ..types import UNREACHABLE, Journey, TimeEdge
+from .journeys import foremost_journey_tree
+from .temporal_graph import TemporalGraph
+
+__all__ = ["FastestJourneyResult", "shortest_journey", "fastest_journey"]
+
+
+def _validate_pair(network: TemporalGraph, source: int, target: int) -> tuple[int, int]:
+    n = network.n
+    source, target = int(source), int(target)
+    for vertex in (source, target):
+        if not 0 <= vertex < n:
+            raise ValueError(f"vertex {vertex} is not a vertex of a graph with {n} vertices")
+    return source, target
+
+
+def shortest_journey(network: TemporalGraph, source: int, target: int) -> Journey:
+    """Return a journey from ``source`` to ``target`` with the fewest hops.
+
+    Ties between equal-hop journeys are broken towards earlier arrival times
+    (the dynamic programme tracks the earliest arrival per hop count).
+
+    Raises
+    ------
+    UnreachableVertexError
+        If no journey exists at all.
+    """
+    source, target = _validate_pair(network, source, target)
+    if source == target:
+        return Journey(source, target)
+    n = network.n
+    tails = network.time_arc_tails
+    heads = network.time_arc_heads
+    labels = network.time_arc_labels
+    order = np.argsort(labels, kind="stable")
+    sorted_tails = tails[order]
+    sorted_heads = heads[order]
+    sorted_labels = labels[order]
+
+    # arrival[v] = earliest arrival at v using at most `hops` hops.
+    arrival = np.full(n, UNREACHABLE, dtype=np.int64)
+    arrival[source] = 0
+    predecessor_per_level: list[np.ndarray] = []
+
+    max_hops = min(n - 1, network.num_time_arcs)
+    for _ in range(max_hops):
+        previous = arrival.copy()
+        predecessor = np.full(n, -1, dtype=np.int64)
+        # One more hop: sweep arcs in label order against the *previous* level.
+        usable = previous[sorted_tails] < sorted_labels
+        improving = usable & (sorted_labels < arrival[sorted_heads])
+        if improving.any():
+            candidate_heads = sorted_heads[improving]
+            candidate_arcs = order[improving]
+            candidate_labels = sorted_labels[improving]
+            # The arcs are label-sorted, so the first occurrence per head is the
+            # earliest arrival reachable with this many hops.
+            new_heads, first_idx = np.unique(candidate_heads, return_index=True)
+            better = candidate_labels[first_idx] < arrival[new_heads]
+            new_heads = new_heads[better]
+            first_idx = first_idx[better]
+            arrival[new_heads] = candidate_labels[first_idx]
+            predecessor[new_heads] = candidate_arcs[first_idx]
+        predecessor_per_level.append(predecessor)
+        if arrival[target] < UNREACHABLE:
+            break
+        if np.array_equal(previous, arrival):
+            break
+
+    if arrival[target] >= UNREACHABLE:
+        raise UnreachableVertexError(source, target)
+
+    # Reconstruct backwards through the levels: the target was first reached at
+    # the last level appended; walk down one level per hop.
+    hops: list[TimeEdge] = []
+    current = target
+    level = len(predecessor_per_level) - 1
+    while current != source:
+        arc = -1
+        while level >= 0:
+            arc = int(predecessor_per_level[level][current])
+            if arc >= 0:
+                break
+            level -= 1
+        if arc < 0:
+            raise UnreachableVertexError(source, target)
+        hops.append(TimeEdge(int(tails[arc]), int(heads[arc]), int(labels[arc])))
+        current = int(tails[arc])
+        level -= 1
+    hops.reverse()
+    return Journey(source, target, tuple(hops))
+
+
+@dataclass(frozen=True, slots=True)
+class FastestJourneyResult:
+    """A fastest journey together with its duration bookkeeping.
+
+    Attributes
+    ----------
+    journey:
+        The realising journey.
+    departure / arrival:
+        Label of the first and last hop.
+    duration:
+        ``arrival − departure + 1``: the number of time steps during which the
+        message is in transit (a single-hop journey has duration 1).
+    """
+
+    journey: Journey
+    departure: int
+    arrival: int
+
+    @property
+    def duration(self) -> int:
+        if self.journey.hops == 0:
+            return 0
+        return self.arrival - self.departure + 1
+
+
+def fastest_journey(
+    network: TemporalGraph, source: int, target: int
+) -> FastestJourneyResult:
+    """Return a journey from ``source`` to ``target`` of minimum duration.
+
+    Among journeys of minimum duration, the one with the earliest departure is
+    returned.
+
+    Raises
+    ------
+    UnreachableVertexError
+        If no journey exists.
+    """
+    source, target = _validate_pair(network, source, target)
+    if source == target:
+        return FastestJourneyResult(Journey(source, target), 0, 0)
+
+    tails = network.time_arc_tails
+    labels = network.time_arc_labels
+    departure_candidates = np.unique(labels[tails == source])
+    if departure_candidates.size == 0:
+        raise UnreachableVertexError(source, target)
+
+    best: FastestJourneyResult | None = None
+    for departure in departure_candidates.tolist():
+        # Restrict to labels >= departure by starting the sweep at departure − 1.
+        arrival, predecessor = foremost_journey_tree(
+            network, source, start_time=int(departure) - 1
+        )
+        if arrival[target] >= UNREACHABLE:
+            continue
+        duration = int(arrival[target]) - int(departure) + 1
+        if best is not None and duration >= best.duration:
+            continue
+        hops: list[TimeEdge] = []
+        current = target
+        heads = network.time_arc_heads
+        while current != source:
+            arc = int(predecessor[current])
+            hops.append(TimeEdge(int(tails[arc]), int(heads[arc]), int(labels[arc])))
+            current = int(tails[arc])
+        hops.reverse()
+        journey = Journey(source, target, tuple(hops))
+        candidate = FastestJourneyResult(
+            journey, departure=journey.departure_time, arrival=journey.arrival_time
+        )
+        if best is None or candidate.duration < best.duration:
+            best = candidate
+
+    if best is None:
+        raise UnreachableVertexError(source, target)
+    return best

@@ -1,0 +1,85 @@
+"""Temporal reachability predicates.
+
+Section 4 of the paper studies when a label assignment *preserves the
+reachability* of the underlying graph: the property
+``T_reach = "∀ u, v: ∃ (u,v)-path in G ⇔ ∃ (u,v)-journey in (G, L)"``
+(Definition 6).  For connected graphs this is simply all-ordered-pairs
+temporal reachability; the general form compares against static reachability
+so disconnected underlying graphs are handled correctly too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.properties import bfs_distances
+from ..types import UNREACHABLE, as_vertex_array
+from .distances import temporal_distance_matrix
+from .journeys import earliest_arrival_times
+from .temporal_graph import TemporalGraph
+
+__all__ = [
+    "reachability_matrix",
+    "reachable_set",
+    "reachable_fraction",
+    "is_temporally_connected",
+    "preserves_reachability",
+]
+
+
+def reachability_matrix(network: TemporalGraph) -> np.ndarray:
+    """Boolean matrix ``R[s, v]`` = "a journey from ``s`` to ``v`` exists".
+
+    The diagonal is ``True`` (the empty journey).
+    """
+    return temporal_distance_matrix(network) < UNREACHABLE
+
+
+def reachable_set(network: TemporalGraph, source: int) -> np.ndarray:
+    """Vertices temporally reachable from ``source`` (including the source)."""
+    arrival = earliest_arrival_times(network, source)
+    return np.flatnonzero(arrival < UNREACHABLE)
+
+
+def reachable_fraction(network: TemporalGraph) -> float:
+    """Fraction of ordered pairs ``s ≠ t`` connected by a journey.
+
+    Equals 1.0 exactly when the network is temporally connected; a useful
+    soft metric when sweeping the number of labels per edge.
+    """
+    n = network.n
+    if n <= 1:
+        return 1.0
+    reach = reachability_matrix(network)
+    off_diagonal = reach.sum() - n  # the diagonal is always True
+    return float(off_diagonal) / float(n * (n - 1))
+
+
+def is_temporally_connected(network: TemporalGraph) -> bool:
+    """Whether every ordered pair of vertices is connected by a journey."""
+    return bool(reachability_matrix(network).all())
+
+
+def preserves_reachability(network: TemporalGraph) -> bool:
+    """The paper's ``T_reach`` property (Definition 6).
+
+    True when, for every ordered pair ``(u, v)``, a journey exists in
+    ``(G, L)`` exactly when a path exists in the underlying graph ``G``.
+    A journey can only use labelled edges of ``G``, so the interesting
+    direction is "path implies journey"; the converse can only fail if the
+    label data were inconsistent with the graph, which the constructor forbids.
+    """
+    n = network.n
+    if n <= 1:
+        return True
+    temporal_reach = reachability_matrix(network)
+    graph = network.graph
+    for source in range(n):
+        static_reachable = bfs_distances(graph, source) >= 0
+        if not np.array_equal(temporal_reach[source] | ~static_reachable,
+                              np.ones(n, dtype=bool)):
+            return False
+        # Sanity: a journey should never exist where no static path does.
+        if np.any(temporal_reach[source] & ~static_reachable):
+            return False
+    return True

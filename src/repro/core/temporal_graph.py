@@ -1,0 +1,314 @@
+"""The :class:`TemporalGraph`: an ephemeral temporal network ``(G, L)``.
+
+Definition 1 of the paper: a temporal network on a (di)graph ``G = (V, E)`` is
+a pair ``(G, L)`` where ``L = {L_e ⊆ ℕ : e ∈ E}`` assigns a set of discrete
+time labels to every edge.  When every ``L_e ⊆ {1, …, a}`` the network is
+*ephemeral* with lifetime ``a``.
+
+Internally the class keeps two synchronized representations:
+
+* a per-edge mapping ``edge index → sorted tuple of labels`` for API-level
+  queries (``labels_of``, ``total_labels``, …);
+* flat *time-arc arrays* ``(tails, heads, labels)`` — one entry per
+  availability of each arc — used by the vectorised journey kernels.  For an
+  undirected underlying graph a label on edge ``{u, v}`` produces the two time
+  arcs ``(u, v, l)`` and ``(v, u, l)``, matching the paper's convention that an
+  undirected edge can be crossed in either direction at its label.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidEdgeError, LabelingError, LifetimeError
+from ..graphs.static_graph import StaticGraph
+from ..types import TimeEdge
+from ..utils.validation import check_positive_int
+
+__all__ = ["TemporalGraph"]
+
+
+class TemporalGraph:
+    """An ephemeral temporal network: a static graph plus labels per edge.
+
+    Parameters
+    ----------
+    graph:
+        The underlying static (di)graph.
+    labels:
+        Either a mapping from canonical edge index (``0 … m−1``, the row index
+        into ``graph.edge_pairs``) to an iterable of labels, or a sequence of
+        length ``m`` whose ``i``-th entry is the label iterable of edge ``i``.
+        Edges may have zero labels (they are then never available).
+    lifetime:
+        The lifetime ``a``.  Defaults to the largest assigned label (or
+        ``graph.n`` if there are no labels at all, which matches the
+        "normalized" convention of the paper).
+
+    Raises
+    ------
+    LifetimeError
+        If any label falls outside ``[1, lifetime]``.
+    LabelingError
+        If the label container is malformed.
+    """
+
+    __slots__ = (
+        "_graph",
+        "_lifetime",
+        "_edge_labels",
+        "_ta_tails",
+        "_ta_heads",
+        "_ta_labels",
+        "_ta_edge_index",
+    )
+
+    def __init__(
+        self,
+        graph: StaticGraph,
+        labels: Mapping[int, Iterable[int]] | Sequence[Iterable[int]],
+        *,
+        lifetime: int | None = None,
+    ) -> None:
+        self._graph = graph
+        self._edge_labels = self._normalise_labels(graph, labels)
+
+        max_label = 0
+        for edge_labels in self._edge_labels:
+            if edge_labels:
+                max_label = max(max_label, edge_labels[-1])
+        if lifetime is None:
+            lifetime = max_label if max_label > 0 else max(graph.n, 1)
+        self._lifetime = check_positive_int(lifetime, "lifetime")
+        if max_label > self._lifetime:
+            raise LifetimeError(max_label, self._lifetime)
+
+        self._build_time_arcs()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalise_labels(
+        graph: StaticGraph,
+        labels: Mapping[int, Iterable[int]] | Sequence[Iterable[int]],
+    ) -> list[tuple[int, ...]]:
+        m = graph.m
+        per_edge: list[tuple[int, ...]] = [() for _ in range(m)]
+        if isinstance(labels, Mapping):
+            items = labels.items()
+        else:
+            seq = list(labels)
+            if len(seq) != m:
+                raise LabelingError(
+                    f"expected one label collection per edge ({m} edges), got "
+                    f"{len(seq)} collections"
+                )
+            items = enumerate(seq)
+        for edge_index, edge_labels in items:
+            edge_index = int(edge_index)
+            if not 0 <= edge_index < m:
+                raise LabelingError(
+                    f"edge index {edge_index} out of range for a graph with {m} edges"
+                )
+            values = sorted({int(label) for label in edge_labels})
+            for value in values:
+                if value < 1:
+                    raise LabelingError(
+                        f"labels must be positive integers, got {value} on edge "
+                        f"{edge_index}"
+                    )
+            per_edge[edge_index] = tuple(values)
+        return per_edge
+
+    def _build_time_arcs(self) -> None:
+        pairs = self._graph.edge_pairs
+        tails: list[int] = []
+        heads: list[int] = []
+        labels: list[int] = []
+        edge_idx: list[int] = []
+        for index, edge_labels in enumerate(self._edge_labels):
+            if not edge_labels:
+                continue
+            u, v = int(pairs[index, 0]), int(pairs[index, 1])
+            for label in edge_labels:
+                tails.append(u)
+                heads.append(v)
+                labels.append(label)
+                edge_idx.append(index)
+                if not self._graph.directed:
+                    tails.append(v)
+                    heads.append(u)
+                    labels.append(label)
+                    edge_idx.append(index)
+        self._ta_tails = np.asarray(tails, dtype=np.int64)
+        self._ta_heads = np.asarray(heads, dtype=np.int64)
+        self._ta_labels = np.asarray(labels, dtype=np.int64)
+        self._ta_edge_index = np.asarray(edge_idx, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> StaticGraph:
+        """The underlying static (di)graph."""
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        """Number of vertices of the underlying graph."""
+        return self._graph.n
+
+    @property
+    def m(self) -> int:
+        """Number of edges of the underlying graph."""
+        return self._graph.m
+
+    @property
+    def directed(self) -> bool:
+        """Whether the underlying graph is directed."""
+        return self._graph.directed
+
+    @property
+    def lifetime(self) -> int:
+        """The lifetime ``a``: no edge is available after time ``a``."""
+        return self._lifetime
+
+    @property
+    def num_time_arcs(self) -> int:
+        """Number of directed time arcs (availability events × directions)."""
+        return int(self._ta_labels.size)
+
+    @property
+    def total_labels(self) -> int:
+        """Total number of labels over all edges: ``Σ_e |L_e|`` (the paper's cost)."""
+        return int(sum(len(labels) for labels in self._edge_labels))
+
+    @property
+    def is_normalized(self) -> bool:
+        """Whether the network is *normalized*: lifetime equals ``n``."""
+        return self._lifetime == self.n
+
+    @property
+    def time_arc_tails(self) -> np.ndarray:
+        """Tail of every time arc (read-only)."""
+        view = self._ta_tails.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def time_arc_heads(self) -> np.ndarray:
+        """Head of every time arc (read-only)."""
+        view = self._ta_heads.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def time_arc_labels(self) -> np.ndarray:
+        """Label of every time arc (read-only)."""
+        view = self._ta_labels.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def time_arc_edge_index(self) -> np.ndarray:
+        """Canonical edge index of every time arc (read-only)."""
+        view = self._ta_edge_index.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------ #
+    # label queries
+    # ------------------------------------------------------------------ #
+    def labels_of_edge_index(self, edge_index: int) -> tuple[int, ...]:
+        """Labels of the canonical edge with the given index (sorted tuple)."""
+        if not 0 <= edge_index < self.m:
+            raise LabelingError(
+                f"edge index {edge_index} out of range for a graph with {self.m} edges"
+            )
+        return self._edge_labels[edge_index]
+
+    def labels_of(self, u: int, v: int) -> tuple[int, ...]:
+        """Labels of the edge ``{u, v}`` (or arc ``(u, v)`` for digraphs)."""
+        try:
+            index = self._graph.edge_index(u, v)
+        except InvalidEdgeError:
+            raise
+        return self._edge_labels[index]
+
+    def label_count_per_edge(self) -> np.ndarray:
+        """Number of labels on each canonical edge, as an ``int64`` array."""
+        return np.asarray([len(labels) for labels in self._edge_labels], dtype=np.int64)
+
+    def edge_label_items(self) -> Iterator[tuple[tuple[int, int], tuple[int, ...]]]:
+        """Iterate over ``((u, v), labels)`` pairs for every canonical edge."""
+        pairs = self._graph.edge_pairs
+        for index, labels in enumerate(self._edge_labels):
+            yield (int(pairs[index, 0]), int(pairs[index, 1])), labels
+
+    def time_edges(self) -> Iterator[TimeEdge]:
+        """Iterate over all directed time arcs as :class:`TimeEdge` objects."""
+        for u, v, label in zip(
+            self._ta_tails.tolist(), self._ta_heads.tolist(), self._ta_labels.tolist()
+        ):
+            yield TimeEdge(u, v, label)
+
+    def has_time_edge(self, u: int, v: int, label: int) -> bool:
+        """Whether the arc ``(u, v)`` is available exactly at ``label``."""
+        mask = (self._ta_tails == u) & (self._ta_heads == v) & (self._ta_labels == label)
+        return bool(mask.any())
+
+    # ------------------------------------------------------------------ #
+    # derived networks
+    # ------------------------------------------------------------------ #
+    def restricted_to_max_label(self, max_label: int) -> "TemporalGraph":
+        """Return the temporal graph keeping only labels ``<= max_label``.
+
+        This is the edge-induced subnetwork used in the Theorem 5 argument
+        ("consider only the arcs with labels up to k").
+        """
+        max_label = check_positive_int(max_label, "max_label")
+        new_labels = [
+            tuple(label for label in labels if label <= max_label)
+            for labels in self._edge_labels
+        ]
+        return TemporalGraph(self._graph, new_labels, lifetime=self._lifetime)
+
+    def with_lifetime(self, lifetime: int) -> "TemporalGraph":
+        """Return a copy with a different declared lifetime (labels unchanged)."""
+        return TemporalGraph(self._graph, list(self._edge_labels), lifetime=lifetime)
+
+    def underlying_edges_with_labels(self) -> StaticGraph:
+        """Static graph keeping only the edges that received at least one label."""
+        pairs = self._graph.edge_pairs
+        keep = [i for i, labels in enumerate(self._edge_labels) if labels]
+        edges = [tuple(pairs[i]) for i in keep]
+        return StaticGraph(
+            self.n,
+            edges,
+            directed=self.directed,
+            name=f"{self._graph.name}+labels" if self._graph.name else "",
+        )
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        return (
+            f"TemporalGraph(n={self.n}, m={self.m}, lifetime={self._lifetime}, "
+            f"total_labels={self.total_labels})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalGraph):
+            return NotImplemented
+        return (
+            self._graph == other._graph
+            and self._lifetime == other._lifetime
+            and self._edge_labels == other._edge_labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._graph, self._lifetime, tuple(self._edge_labels)))

@@ -1,0 +1,27 @@
+"""Erdős–Rényi ``G(n, p)`` substrate.
+
+The lower bounds of the paper (the Remark after Theorem 4 and Theorem 5)
+reduce to the classical fact that ``G(n, p)`` is disconnected whp when
+``p < (1 − ε)·log n / n``.  This subpackage provides a fast sampler, a
+union-find based connectivity check and the helpers used by the E7 experiment
+to validate the threshold empirically.
+"""
+
+from .gnp import (
+    UnionFind,
+    connectivity_probability,
+    giant_component_fraction,
+    is_gnp_connected,
+    sample_gnp_edges,
+)
+from .thresholds import connectivity_threshold_curve, critical_probability
+
+__all__ = [
+    "UnionFind",
+    "sample_gnp_edges",
+    "is_gnp_connected",
+    "giant_component_fraction",
+    "connectivity_probability",
+    "connectivity_threshold_curve",
+    "critical_probability",
+]

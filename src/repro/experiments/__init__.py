@@ -1,0 +1,19 @@
+"""Reproduction experiments — one module per claim of the paper.
+
+Every experiment module exposes a ``run(scale=..., seed=...)`` function that
+returns an :class:`~repro.experiments.reporting.ExperimentReport`; the
+registry maps experiment identifiers (E1 … E7, matching DESIGN.md §4) to those
+functions and provides the ``repro-experiments`` command-line entry point.
+"""
+
+from .reporting import ExperimentReport, write_experiments_markdown
+from .registry import EXPERIMENTS, get_experiment, main, run_experiments
+
+__all__ = [
+    "ExperimentReport",
+    "write_experiments_markdown",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiments",
+    "main",
+]

@@ -1,0 +1,149 @@
+"""E4 — Message dissemination in the hostile clique (§3.5) vs. the phone-call model.
+
+The flooding protocol of §3.5 ("send the moment an out-arc becomes available")
+broadcasts from any source in ``O(log n)`` time whp on the normalized U-RT
+clique.  The paper's §1.1 contrasts this with the classic random phone-call
+push protocol, which also takes ``Θ(log n)`` rounds but relies on *protocol*
+randomness, whereas here randomness lives entirely in the input labels.
+
+The experiment sweeps ``n`` and reports the flooding broadcast time next to
+``log n``, the direct-wait baseline ``n/2`` and the phone-call push rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..analysis.bounds import expected_direct_wait, phone_call_rounds_prediction
+from ..analysis.comparison import ComparisonRow
+from ..analysis.fitting import fit_log_model
+from ..core.dissemination import flood_broadcast, push_phone_call_broadcast
+from ..core.labeling import normalized_urtn
+from ..graphs.generators import complete_graph
+from ..montecarlo.experiment import Experiment
+from ..montecarlo.runner import MonteCarloRunner
+from ..montecarlo.convergence import FixedBudgetStopping
+from ..montecarlo.sweep import ParameterSweep
+from ..types import UNREACHABLE
+from ..utils.seeding import SeedLike
+from .reporting import ExperimentReport
+
+__all__ = ["trial_dissemination", "run", "SCALES"]
+
+SCALES: dict[str, dict[str, Any]] = {
+    "quick": {"sizes": (16, 32, 64), "repetitions": 5, "directed": True},
+    "default": {"sizes": (16, 32, 64, 128, 256), "repetitions": 15, "directed": True},
+    "full": {"sizes": (32, 64, 128, 256, 512, 1024), "repetitions": 25, "directed": True},
+}
+
+
+def trial_dissemination(
+    params: Mapping[str, Any], rng: np.random.Generator
+) -> dict[str, float]:
+    """One trial: flooding on a fresh U-RT clique plus the phone-call baseline."""
+    n = int(params["n"])
+    directed = bool(params.get("directed", True))
+    clique = complete_graph(n, directed=directed)
+    network = normalized_urtn(clique, seed=rng)
+    source = int(rng.integers(0, n))
+    flood = flood_broadcast(network, source)
+    phone = push_phone_call_broadcast(n, source=source, seed=rng)
+    metrics: dict[str, float] = {
+        "flood_completed": 1.0 if flood.completed else 0.0,
+        "flood_transmissions": float(flood.num_transmissions),
+        "phone_rounds": float(phone.broadcast_time if phone.completed else UNREACHABLE),
+        "phone_transmissions": float(phone.num_transmissions),
+    }
+    if flood.completed:
+        metrics["flood_broadcast_time"] = float(flood.broadcast_time)
+    return metrics
+
+
+def run(scale: str = "default", *, seed: SeedLike = 2017) -> ExperimentReport:
+    """Run E4 and build its report."""
+    config = SCALES[scale]
+    sweep = ParameterSweep(
+        {"n": list(config["sizes"])}, constants={"directed": config["directed"]}
+    )
+    experiment = Experiment(
+        name="E4-dissemination",
+        trial=trial_dissemination,
+        description="Flooding broadcast time on the hostile clique (§3.5)",
+    )
+    runner = MonteCarloRunner(
+        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
+    )
+    sweep_result = runner.run_sweep(experiment, sweep)
+
+    records: list[dict[str, Any]] = []
+    sizes: list[float] = []
+    broadcast_times: list[float] = []
+    for point in sweep_result:
+        n = int(point.parameters["n"])
+        completed = point.mean("flood_completed")
+        record: dict[str, Any] = {
+            "n": n,
+            "flood_completion_rate": completed,
+            "log_n": math.log(n),
+            "direct_wait_baseline": expected_direct_wait(n),
+            "phone_call_rounds": point.mean("phone_rounds"),
+            "phone_call_prediction": phone_call_rounds_prediction(n),
+            "flood_transmissions": point.mean("flood_transmissions"),
+        }
+        if "flood_broadcast_time" in point.metric_names():
+            record["flood_broadcast_time"] = point.mean("flood_broadcast_time")
+            sizes.append(float(n))
+            broadcast_times.append(record["flood_broadcast_time"])
+        records.append(record)
+
+    fit = fit_log_model(sizes, broadcast_times)
+    largest = records[-1]
+    comparison = [
+        ComparisonRow(
+            quantity="flooding informs everyone",
+            paper="the protocol disseminates to all vertices whp (§3.5)",
+            measured=f"completion rates {[round(r['flood_completion_rate'], 2) for r in records]}",
+            matches=all(r["flood_completion_rate"] >= 0.99 for r in records),
+            note="the clique always provides the direct fallback edge",
+        ),
+        ComparisonRow(
+            quantity="broadcast time is O(log n)",
+            paper="dissemination completes in O(log n) time (§3.5 via Theorem 4)",
+            measured=(
+                f"fit time ≈ {fit.coefficients[0]:.2f}·log n + {fit.coefficients[1]:.2f} "
+                f"(R²={fit.r_squared:.3f})"
+            ),
+            matches=fit.r_squared > 0.8,
+            note="logarithmic growth of the measured broadcast time",
+        ),
+        ComparisonRow(
+            quantity="comparable to the random phone-call model",
+            paper="phone-call push also needs Θ(log n) rounds, but with protocol randomness (§1.1)",
+            measured=(
+                f"at n={largest['n']}: flooding {largest.get('flood_broadcast_time', float('nan')):.1f} "
+                f"time steps vs phone-call {largest['phone_call_rounds']:.1f} rounds"
+            ),
+            matches=largest.get("flood_broadcast_time", float("inf"))
+            < expected_direct_wait(int(largest["n"])) / 2,
+            note="both are exponentially below the n/2 direct-wait baseline",
+        ),
+    ]
+    return ExperimentReport(
+        experiment_id="E4",
+        title="Flooding dissemination vs. the phone-call baseline",
+        claim=(
+            "A vertex can spread a message to all others in O(log n) time on the hostile "
+            "clique using the natural flooding protocol (§3.5); the random phone-call "
+            "push baseline achieves the same order using protocol randomness (§1.1)."
+        ),
+        records=records,
+        comparison=comparison,
+        notes=(
+            "Flood time is measured in temporal-label units, phone-call time in "
+            "synchronous rounds; the comparison is about growth order, not units."
+        ),
+        scale=scale,
+    )

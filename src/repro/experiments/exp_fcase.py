@@ -1,0 +1,148 @@
+"""E8 (extension) — F-CASE: non-uniform label distributions.
+
+The Note after Definition 4 flags the *F-CASE* — labels drawn from an
+arbitrary distribution ``F`` over ``{1, …, a}`` — as prospective study, and
+the conclusions list "designing the availability of a net" as ongoing work.
+This extension experiment explores that direction empirically: it compares the
+temporal diameter and flooding broadcast time of the random clique under the
+uniform distribution (the paper's UNI-CASE), a front-loaded geometric
+distribution and a Zipf-like distribution.
+
+Expected shape: front-loaded distributions compress the label range actually
+used, so *reachability is still guaranteed* (the clique always has the direct
+edge) but the temporal diameter is governed by the effective spread of labels
+rather than by ``n`` — the uniform case remains the hardest of the three.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..analysis.comparison import ComparisonRow
+from ..core.dissemination import flood_broadcast
+from ..core.distances import temporal_diameter
+from ..core.labeling import uniform_random_labels
+from ..graphs.generators import complete_graph
+from ..montecarlo.convergence import FixedBudgetStopping
+from ..montecarlo.experiment import Experiment
+from ..montecarlo.runner import MonteCarloRunner
+from ..montecarlo.sweep import ParameterSweep
+from ..randomness.distributions import distribution_from_name
+from ..utils.seeding import SeedLike
+from .reporting import ExperimentReport
+
+__all__ = ["trial_fcase", "run", "SCALES", "DISTRIBUTIONS"]
+
+#: The distributions compared by the experiment (name → constructor kwargs).
+DISTRIBUTIONS: dict[str, dict[str, float]] = {
+    "uniform": {},
+    "geometric": {"q": 0.05},
+    "zipf": {"exponent": 1.0},
+}
+
+SCALES: dict[str, dict[str, Any]] = {
+    "quick": {"n": 48, "repetitions": 5},
+    "default": {"n": 128, "repetitions": 12},
+    "full": {"n": 256, "repetitions": 20},
+}
+
+
+def trial_fcase(params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, float]:
+    """One trial: sample an F-RTN clique under the named distribution."""
+    n = int(params["n"])
+    name = str(params["distribution"])
+    distribution = distribution_from_name(name, n, **DISTRIBUTIONS[name])
+    clique = complete_graph(n, directed=True)
+    network = uniform_random_labels(
+        clique, labels_per_edge=1, lifetime=n, distribution=distribution, seed=rng
+    )
+    td = temporal_diameter(network)
+    broadcast = flood_broadcast(network, source=int(rng.integers(0, n)))
+    return {
+        "temporal_diameter": float(td),
+        "broadcast_time": float(broadcast.broadcast_time),
+        "mean_label": distribution.mean(),
+    }
+
+
+def run(scale: str = "default", *, seed: SeedLike = 2021) -> ExperimentReport:
+    """Run E8 and build its report."""
+    config = SCALES[scale]
+    n = int(config["n"])
+    sweep = ParameterSweep({"distribution": list(DISTRIBUTIONS)}, constants={"n": n})
+    experiment = Experiment(
+        name="E8-fcase",
+        trial=trial_fcase,
+        description="Temporal diameter of the clique under non-uniform label distributions",
+    )
+    runner = MonteCarloRunner(
+        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
+    )
+    sweep_result = runner.run_sweep(experiment, sweep)
+
+    records: list[dict[str, Any]] = []
+    by_name: dict[str, float] = {}
+    for point in sweep_result:
+        name = str(point.parameters["distribution"])
+        td = point.mean("temporal_diameter")
+        records.append(
+            {
+                "distribution": name,
+                "n": n,
+                "mean_temporal_diameter": td,
+                "mean_broadcast_time": point.mean("broadcast_time"),
+                "mean_label_of_F": point.mean("mean_label"),
+                "log_n": math.log(n),
+            }
+        )
+        by_name[name] = td
+
+    comparison = [
+        ComparisonRow(
+            quantity="all distributions keep the clique temporally connected",
+            paper="one label per clique edge always preserves reachability (any distribution)",
+            measured="temporal diameter finite in every sampled instance",
+            matches=all(record["mean_temporal_diameter"] < n for record in records),
+            note="the direct edge is the fallback journey regardless of F",
+        ),
+        ComparisonRow(
+            quantity="the uniform case is the slowest of the three",
+            paper="front-loaded F compresses the used label range (F-CASE note, §2)",
+            measured=(
+                f"TD uniform={by_name.get('uniform', float('nan')):.1f}, "
+                f"geometric={by_name.get('geometric', float('nan')):.1f}, "
+                f"zipf={by_name.get('zipf', float('nan')):.1f}"
+            ),
+            matches=by_name.get("uniform", 0.0)
+            >= max(by_name.get("geometric", 0.0), by_name.get("zipf", 0.0)) - 1.0,
+            note="expected ordering; the paper leaves the quantitative F-CASE open",
+        ),
+        ComparisonRow(
+            quantity="uniform case still Θ(log n)",
+            paper="Theorem 4 (the UNI-CASE row doubles as an E1 spot check)",
+            measured=f"TD(uniform) / log n = {by_name.get('uniform', 0.0) / math.log(n):.2f}",
+            matches=1.0 <= by_name.get("uniform", 0.0) / math.log(n) <= 10.0,
+            note="constant-factor corridor around log n",
+        ),
+    ]
+    return ExperimentReport(
+        experiment_id="E8",
+        title="F-CASE: non-uniform label distributions (extension)",
+        claim=(
+            "Extension of the paper's F-CASE note: the clique stays temporally "
+            "connected under any single-label distribution, and the temporal diameter "
+            "depends on how the distribution spreads labels over the lifetime; the "
+            "uniform UNI-CASE of the paper is the slowest of the compared families."
+        ),
+        records=records,
+        comparison=comparison,
+        notes=(
+            "This experiment goes beyond the paper (listed as prospective study in §2 "
+            "and §6); it is included as the 'extension/future work' item of the "
+            "reproduction and makes no claim about matching published numbers."
+        ),
+        scale=scale,
+    )

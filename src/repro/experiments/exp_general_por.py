@@ -1,0 +1,212 @@
+"""E6 / F3 — Guaranteeing reachability on general graphs (Theorems 7–8).
+
+Theorem 7: assigning more than ``2·d(G)·log n`` uniform random labels to every
+edge of any connected graph ``G`` guarantees temporal reachability whp — the
+proof splits the lifetime into ``d(G)`` boxes (Figure 3) and shows every box
+of every edge receives a label whp, after which Claim 1 turns any static
+shortest path into a journey.  Theorem 8 converts this into the upper bound
+``PoR(G) ≤ (2·d(G)·log n + ε)·m/(n−1)``.
+
+The experiment runs, for several graph families (path, cycle, grid, hypercube,
+tree, Erdős–Rényi):
+
+* the measured reachability probability at ``r = ⌈2·d·log n⌉`` (should be ≈ 1)
+  and at a fraction of it,
+* the empirical threshold ``r̂`` and the measured PoR against the Theorem 8
+  bound,
+* a direct verification of Claim 1: the deterministic box assignment preserves
+  reachability on every family (the F3 check).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..analysis.comparison import ComparisonRow
+from ..core.guarantees import minimal_labels_for_reachability, reachability_probability
+from ..core.labeling import box_assignment, uniform_random_labels
+from ..core.price_of_randomness import (
+    opt_labels_upper_bound,
+    por_upper_bound_theorem8,
+    price_of_randomness,
+    r_sufficient_theorem7,
+)
+from ..core.reachability import preserves_reachability
+from ..graphs.generators import (
+    binary_tree,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+)
+from ..graphs.properties import diameter
+from ..graphs.static_graph import StaticGraph
+from ..utils.seeding import SeedLike, spawn_rngs
+from .reporting import ExperimentReport
+
+__all__ = ["GRAPH_FAMILIES", "run", "SCALES"]
+
+#: Graph families exercised by the experiment, as name → constructor.
+GRAPH_FAMILIES: dict[str, Callable[[int], StaticGraph]] = {
+    "path": lambda n: path_graph(n),
+    "cycle": lambda n: cycle_graph(n),
+    "grid": lambda n: grid_graph(max(2, int(round(math.sqrt(n)))), max(2, int(round(math.sqrt(n))))),
+    "hypercube": lambda n: hypercube_graph(max(2, int(round(math.log2(n))))),
+    "binary_tree": lambda n: binary_tree(max(2, int(math.floor(math.log2(n + 1))) - 1)),
+    "erdos_renyi": lambda n: erdos_renyi_graph(n, min(1.0, 3.0 * math.log(n) / n), seed=7),
+}
+
+SCALES: dict[str, dict[str, Any]] = {
+    "quick": {"n": 16, "families": ("path", "cycle", "grid"), "trials": 10},
+    "default": {
+        "n": 32,
+        "families": ("path", "cycle", "grid", "hypercube", "binary_tree", "erdos_renyi"),
+        "trials": 20,
+    },
+    "full": {
+        "n": 64,
+        "families": ("path", "cycle", "grid", "hypercube", "binary_tree", "erdos_renyi"),
+        "trials": 30,
+    },
+}
+
+
+def _family_graph(name: str, n: int) -> StaticGraph:
+    graph = GRAPH_FAMILIES[name](n)
+    return graph
+
+
+def run(scale: str = "default", *, seed: SeedLike = 2019) -> ExperimentReport:
+    """Run E6 (and the F3 box-assignment check) and build the report."""
+    config = SCALES[scale]
+    n_target = int(config["n"])
+    trials = int(config["trials"])
+    families = list(config["families"])
+    rngs = spawn_rngs(seed, 4 * len(families))
+    rng_iter = iter(rngs)
+
+    records: list[dict[str, Any]] = []
+    box_checks: list[bool] = []
+    sufficient_checks: list[bool] = []
+    por_within_bound: list[bool] = []
+    for family in families:
+        graph = _family_graph(family, n_target)
+        n = graph.n
+        m = graph.m
+        d = diameter(graph)
+        log_n = math.log(n)
+        r_theorem7 = r_sufficient_theorem7(n, d)
+        r_sufficient = max(1, int(math.ceil(r_theorem7)) + 1)
+        lifetime = n
+
+        prob_at_sufficient = reachability_probability(
+            graph, r_sufficient, lifetime=lifetime, trials=trials, seed=next(rng_iter)
+        )
+        r_quarter = max(1, r_sufficient // 4)
+        prob_at_quarter = reachability_probability(
+            graph, r_quarter, lifetime=lifetime, trials=trials, seed=next(rng_iter)
+        )
+        r_hat = minimal_labels_for_reachability(
+            graph,
+            target_probability=0.9,
+            lifetime=lifetime,
+            trials=trials,
+            r_max=4 * r_sufficient,
+            seed=next(rng_iter),
+        )
+        opt_bound = opt_labels_upper_bound(graph)
+        measured_por = price_of_randomness(graph, r_hat, opt=opt_bound)
+        theorem8_bound = por_upper_bound_theorem8(n, m, d)
+
+        # F3: the deterministic box assignment (Figure 3 / Claim 1).
+        box_network = box_assignment(graph, lifetime=max(n, d), mode="random", seed=next(rng_iter))
+        box_ok = preserves_reachability(box_network)
+
+        records.append(
+            {
+                "family": family,
+                "n": n,
+                "m": m,
+                "diameter": d,
+                "r_theorem7_=2d·log n": r_theorem7,
+                "P[T_reach]_at_r_sufficient": prob_at_sufficient,
+                "P[T_reach]_at_r/4": prob_at_quarter,
+                "empirical_r_hat": r_hat,
+                "measured_PoR": measured_por,
+                "theorem8_PoR_bound": theorem8_bound,
+                "box_assignment_preserves_reachability": box_ok,
+            }
+        )
+        box_checks.append(box_ok)
+        sufficient_checks.append(prob_at_sufficient >= 0.95)
+        por_within_bound.append(measured_por <= theorem8_bound + 1e-9)
+
+    comparison = [
+        ComparisonRow(
+            quantity="r > 2·d(G)·log n labels per edge suffice",
+            paper="Theorem 7: such r guarantees temporal reachability whp on any connected G",
+            measured=(
+                "P[T_reach] at r=⌈2d·log n⌉+1: "
+                + ", ".join(
+                    f"{r['family']}={r['P[T_reach]_at_r_sufficient']:.2f}" for r in records
+                )
+            ),
+            matches=all(sufficient_checks),
+            note="every family reaches (near-)certain reachability at the Theorem 7 value",
+        ),
+        ComparisonRow(
+            quantity="measured PoR is below the Theorem 8 bound",
+            paper="PoR(G) ≤ (2·d·log n + ε)·m/(n−1) (Theorem 8)",
+            measured=(
+                ", ".join(
+                    f"{r['family']}: {r['measured_PoR']:.1f} ≤ {r['theorem8_PoR_bound']:.1f}"
+                    for r in records
+                )
+            ),
+            matches=all(por_within_bound),
+            note="measured PoR uses the empirical r̂ and the constructive OPT upper bound",
+        ),
+        ComparisonRow(
+            quantity="box assignment preserves reachability (Figure 3, Claim 1)",
+            paper="one label per box per edge makes every shortest path a journey",
+            measured=f"verified on {sum(box_checks)}/{len(box_checks)} families",
+            matches=all(box_checks),
+            note="deterministic construction checked exactly on each instance",
+        ),
+        ComparisonRow(
+            quantity="empirical thresholds sit below the sufficient value",
+            paper="Theorem 7 is an upper bound on r(n), not tight for every graph",
+            measured=(
+                ", ".join(
+                    f"{r['family']}: r̂={r['empirical_r_hat']} vs 2d·log n={r['r_theorem7_=2d·log n']:.0f}"
+                    for r in records
+                )
+            ),
+            matches=all(
+                r["empirical_r_hat"] <= r["r_theorem7_=2d·log n"] + 1 for r in records
+            ),
+            note="r̂ ≤ sufficient value everywhere, as the theory requires",
+        ),
+    ]
+    return ExperimentReport(
+        experiment_id="E6",
+        title="General graphs: sufficient labels and the PoR upper bound",
+        claim=(
+            "For every connected graph, assigning more than 2·d(G)·log n uniform random "
+            "labels per edge guarantees temporal reachability whp (Theorem 7), and the "
+            "Price of Randomness is at most (2·d(G)·log n + ε)·m/(n−1) (Theorem 8); the "
+            "deterministic box structure of Figure 3 preserves reachability (Claim 1)."
+        ),
+        records=records,
+        comparison=comparison,
+        notes=(
+            "Graph sizes are matched approximately per family (grids and hypercubes "
+            "round n to the nearest feasible size). The empirical r̂ targets 90% "
+            "reachability probability rather than the paper's 1 − n^{-a}."
+        ),
+        scale=scale,
+    )

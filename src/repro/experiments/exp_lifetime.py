@@ -1,0 +1,150 @@
+"""E2 — Dependence of the temporal diameter on the lifetime (Theorem 5).
+
+When each arc of the clique receives one uniform label from ``{1, …, a}`` with
+``a`` larger than ``n``, the temporal diameter must grow like
+``Ω((a/n)·log n)``: the arcs labelled at most ``k`` form an Erdős–Rényi graph
+``G(n, k/a)`` which is disconnected below the ``log n / n`` threshold, so no
+instance can have all pairs communicate before ``k ≈ (a/n)·log n``.
+
+The experiment sweeps the lifetime multiplier ``a/n``, measures the exact
+temporal diameter and the certified per-instance lower bound
+(:func:`~repro.core.lifetime.prefix_connectivity_time`), and checks that the
+measured diameters scale linearly in ``(a/n)·log n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..analysis.comparison import ComparisonRow
+from ..analysis.fitting import fit_scaled_log_model
+from ..core.distances import temporal_diameter
+from ..core.labeling import uniform_random_labels
+from ..core.lifetime import prefix_connectivity_time, temporal_diameter_lower_bound_theorem5
+from ..graphs.generators import complete_graph
+from ..montecarlo.experiment import Experiment
+from ..montecarlo.runner import MonteCarloRunner
+from ..montecarlo.convergence import FixedBudgetStopping
+from ..montecarlo.sweep import ParameterSweep
+from ..types import UNREACHABLE
+from ..utils.seeding import SeedLike
+from .reporting import ExperimentReport
+
+__all__ = ["trial_lifetime", "run", "SCALES"]
+
+SCALES: dict[str, dict[str, Any]] = {
+    "quick": {"n": 32, "multipliers": (1, 2, 4), "repetitions": 5},
+    "default": {"n": 64, "multipliers": (1, 2, 4, 8, 16), "repetitions": 12},
+    "full": {"n": 128, "multipliers": (1, 2, 4, 8, 16, 32), "repetitions": 20},
+}
+
+
+def trial_lifetime(params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, float]:
+    """One trial: clique with lifetime ``multiplier·n``; measure TD and its certificate."""
+    n = int(params["n"])
+    multiplier = int(params["multiplier"])
+    lifetime = multiplier * n
+    clique = complete_graph(n, directed=True)
+    network = uniform_random_labels(
+        clique, labels_per_edge=1, lifetime=lifetime, seed=rng
+    )
+    td = temporal_diameter(network)
+    prefix = prefix_connectivity_time(network)
+    metrics = {
+        "temporal_diameter": float(td),
+        "scaled_bound": temporal_diameter_lower_bound_theorem5(n, lifetime),
+    }
+    if prefix < UNREACHABLE:
+        metrics["prefix_connectivity_time"] = float(prefix)
+    return metrics
+
+
+def run(scale: str = "default", *, seed: SeedLike = 2015) -> ExperimentReport:
+    """Run E2 and build its report."""
+    config = SCALES[scale]
+    n = int(config["n"])
+    sweep = ParameterSweep({"multiplier": list(config["multipliers"])}, constants={"n": n})
+    experiment = Experiment(
+        name="E2-lifetime",
+        trial=trial_lifetime,
+        description="Temporal diameter vs. lifetime (Theorem 5)",
+    )
+    runner = MonteCarloRunner(
+        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
+    )
+    sweep_result = runner.run_sweep(experiment, sweep)
+
+    records: list[dict[str, Any]] = []
+    scaled_x: list[float] = []
+    measured_td: list[float] = []
+    for point in sweep_result:
+        multiplier = int(point.parameters["multiplier"])
+        lifetime = multiplier * n
+        td_stats = point.summary("temporal_diameter")
+        bound = temporal_diameter_lower_bound_theorem5(n, lifetime)
+        record = {
+            "n": n,
+            "lifetime_over_n": multiplier,
+            "lifetime": lifetime,
+            "mean_temporal_diameter": td_stats.mean,
+            "theorem5_scale_(a/n)log_n": bound,
+            "TD_over_scale": td_stats.mean / bound,
+        }
+        if "prefix_connectivity_time" in point.metric_names():
+            record["mean_prefix_connectivity_time"] = point.mean("prefix_connectivity_time")
+        records.append(record)
+        scaled_x.append(bound)
+        measured_td.append(td_stats.mean)
+
+    fit = fit_scaled_log_model(scaled_x, measured_td)
+    slope = fit.coefficients[0]
+    ratios = [record["TD_over_scale"] for record in records]
+    base_td = measured_td[0]
+    largest_td = measured_td[-1]
+    largest_multiplier = int(config["multipliers"][-1])
+
+    comparison = [
+        ComparisonRow(
+            quantity="TD grows linearly in (a/n)·log n",
+            paper="TD = Ω((a/n)·log n) when a ≫ n (Theorem 5)",
+            measured=f"fit TD ≈ {slope:.2f}·(a/n)·log n + {fit.coefficients[1]:.2f} (R²={fit.r_squared:.3f})",
+            matches=slope > 0.5 and fit.r_squared > 0.9,
+            note="linear response to the lifetime scale, as predicted",
+        ),
+        ComparisonRow(
+            quantity="longer lifetimes slow dissemination",
+            paper="the dependence on the lifetime is not captured by static models",
+            measured=(
+                f"TD rises from {base_td:.1f} (a=n) to {largest_td:.1f} "
+                f"(a={largest_multiplier}·n)"
+            ),
+            matches=largest_td > 2 * base_td,
+            note="monotone increase across the sweep",
+        ),
+        ComparisonRow(
+            quantity="TD / ((a/n)·log n) stays bounded",
+            paper="matching O((a/n)·log n) behaviour expected from the upper-bound argument",
+            measured=f"ratios in [{min(ratios):.2f}, {max(ratios):.2f}]",
+            matches=max(ratios) < 10 * max(min(ratios), 1e-9),
+            note="constant-factor corridor around the predicted scale",
+        ),
+    ]
+    return ExperimentReport(
+        experiment_id="E2",
+        title="Temporal diameter vs. lifetime",
+        claim=(
+            "If the lifetime a is asymptotically larger than n, the temporal diameter "
+            "of the uniform random temporal clique must be Ω((a/n)·log n) (Theorem 5)."
+        ),
+        records=records,
+        comparison=comparison,
+        notes=(
+            "prefix_connectivity_time is the per-instance certified lower bound used "
+            "by the Theorem 5 argument (first time at which the labelled-so-far edges "
+            "connect the clique)."
+        ),
+        scale=scale,
+    )

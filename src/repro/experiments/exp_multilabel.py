@@ -1,0 +1,124 @@
+"""E9 (extension) — multi-label random cliques: buying extra availability.
+
+Section 4 of the paper studies how many random labels per edge are needed for
+reachability on *sparse* graphs; on the clique a single label already
+suffices, so extra labels buy *speed* instead.  This extension experiment
+measures how the temporal diameter of the normalized random clique shrinks as
+each edge receives ``r`` independent uniform labels, quantifying the
+diminishing returns of additional availability (the conclusions' "combining
+random availabilities" direction).
+
+Expected shape: the temporal diameter decreases monotonically in ``r`` and is
+already within a small constant factor of its floor for ``r`` around
+``log n`` — randomness is cheap on dense graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..analysis.comparison import ComparisonRow
+from ..core.distances import temporal_diameter
+from ..core.labeling import uniform_random_labels
+from ..graphs.generators import complete_graph
+from ..montecarlo.convergence import FixedBudgetStopping
+from ..montecarlo.experiment import Experiment
+from ..montecarlo.runner import MonteCarloRunner
+from ..montecarlo.sweep import ParameterSweep
+from ..utils.seeding import SeedLike
+from .reporting import ExperimentReport
+
+__all__ = ["trial_multilabel", "run", "SCALES"]
+
+SCALES: dict[str, dict[str, Any]] = {
+    "quick": {"n": 48, "labels": (1, 2, 4), "repetitions": 5},
+    "default": {"n": 128, "labels": (1, 2, 4, 8), "repetitions": 12},
+    "full": {"n": 256, "labels": (1, 2, 4, 8, 16), "repetitions": 20},
+}
+
+
+def trial_multilabel(params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, float]:
+    """One trial: normalized clique with ``r`` uniform labels per arc."""
+    n = int(params["n"])
+    r = int(params["r"])
+    clique = complete_graph(n, directed=True)
+    network = uniform_random_labels(clique, labels_per_edge=r, lifetime=n, seed=rng)
+    return {
+        "temporal_diameter": float(temporal_diameter(network)),
+        "total_labels": float(network.total_labels),
+    }
+
+
+def run(scale: str = "default", *, seed: SeedLike = 2022) -> ExperimentReport:
+    """Run E9 and build its report."""
+    config = SCALES[scale]
+    n = int(config["n"])
+    sweep = ParameterSweep({"r": list(config["labels"])}, constants={"n": n})
+    experiment = Experiment(
+        name="E9-multilabel",
+        trial=trial_multilabel,
+        description="Temporal diameter of the clique vs labels per edge",
+    )
+    runner = MonteCarloRunner(
+        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
+    )
+    sweep_result = runner.run_sweep(experiment, sweep)
+
+    records: list[dict[str, Any]] = []
+    for point in sweep_result:
+        r = int(point.parameters["r"])
+        td = point.mean("temporal_diameter")
+        records.append(
+            {
+                "n": n,
+                "labels_per_edge_r": r,
+                "mean_temporal_diameter": td,
+                "TD_over_log_n": td / math.log(n),
+                "total_labels_cost": point.mean("total_labels"),
+            }
+        )
+
+    diameters = [record["mean_temporal_diameter"] for record in records]
+    monotone = all(b <= a + 0.5 for a, b in zip(diameters, diameters[1:]))
+    comparison = [
+        ComparisonRow(
+            quantity="extra labels never slow dissemination down",
+            paper="adding labels can only create journeys (monotonicity of the model)",
+            measured=f"mean TD over r sweep: {[round(d, 1) for d in diameters]}",
+            matches=monotone,
+            note="monotone non-increasing within Monte-Carlo noise",
+        ),
+        ComparisonRow(
+            quantity="single-label clique already achieves Θ(log n)",
+            paper="Theorem 4: the r = 1 column reproduces the headline bound",
+            measured=f"TD(r=1)/log n = {diameters[0] / math.log(n):.2f}",
+            matches=1.0 <= diameters[0] / math.log(n) <= 10.0,
+            note="cross-check against E1",
+        ),
+        ComparisonRow(
+            quantity="diminishing returns of extra availability",
+            paper="conclusions: combining random and optimal availabilities is future work",
+            measured=(
+                f"TD shrinks by a factor {diameters[0] / max(diameters[-1], 1e-9):.1f} "
+                f"while the label cost grows {records[-1]['labels_per_edge_r']}×"
+            ),
+            matches=diameters[-1] <= diameters[0],
+            note="extension measurement; no published number to match",
+        ),
+    ]
+    return ExperimentReport(
+        experiment_id="E9",
+        title="Multi-label random cliques (extension)",
+        claim=(
+            "Extension: on the clique a single random label per edge already guarantees "
+            "reachability, so additional labels buy speed — the temporal diameter "
+            "decreases monotonically in r with diminishing returns."
+        ),
+        records=records,
+        comparison=comparison,
+        notes="Extension experiment motivated by §4 and the conclusions of the paper.",
+        scale=scale,
+    )

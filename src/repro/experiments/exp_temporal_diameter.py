@@ -1,0 +1,157 @@
+"""E1 — Temporal diameter of the normalized uniform random temporal clique.
+
+Theorem 4 (plus the Remark following it): with one uniform label per arc drawn
+from ``{1, …, n}``, the temporal diameter of the directed clique is
+``Θ(log n)`` with high probability and in expectation — exponentially smaller
+than the ``≈ n/2`` a single direct hop would need in expectation.
+
+The experiment sweeps ``n``, samples instances, computes the exact temporal
+diameter of each (all-pairs foremost journeys) and reports:
+
+* the mean temporal diameter and its ratio to ``log n`` (should stabilise at a
+  constant ``γ``),
+* the fitted ``c·log n + b`` model and its ``R²``,
+* the fitted power-law exponent (should be ≈ 0.3 or less, i.e. clearly
+  sub-linear, while the direct-wait baseline grows linearly).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..analysis.bounds import expected_direct_wait, temporal_diameter_prediction
+from ..analysis.comparison import ComparisonRow
+from ..analysis.fitting import fit_log_model, fit_power_model
+from ..core.distances import temporal_diameter
+from ..core.labeling import normalized_urtn
+from ..graphs.generators import complete_graph
+from ..montecarlo.experiment import Experiment
+from ..montecarlo.runner import MonteCarloRunner
+from ..montecarlo.convergence import FixedBudgetStopping
+from ..montecarlo.sweep import ParameterSweep
+from ..utils.seeding import SeedLike
+from .reporting import ExperimentReport
+
+__all__ = ["trial_temporal_diameter", "run", "SCALES"]
+
+#: Parameter presets.  ``quick`` is used by the integration tests, ``default``
+#: by the benchmark harness; ``full`` reproduces the DESIGN.md §4 grid.
+SCALES: dict[str, dict[str, Any]] = {
+    "quick": {"sizes": (16, 32, 64), "repetitions": 5, "directed": True},
+    "default": {"sizes": (16, 32, 64, 128, 256), "repetitions": 15, "directed": True},
+    "full": {"sizes": (16, 32, 64, 128, 256, 512), "repetitions": 25, "directed": True},
+}
+
+
+def trial_temporal_diameter(
+    params: Mapping[str, Any], rng: np.random.Generator
+) -> dict[str, float]:
+    """One trial: sample a normalized U-RT clique and measure its temporal diameter."""
+    n = int(params["n"])
+    directed = bool(params.get("directed", True))
+    clique = complete_graph(n, directed=directed)
+    network = normalized_urtn(clique, seed=rng)
+    td = temporal_diameter(network)
+    log_n = math.log(n)
+    return {
+        "temporal_diameter": float(td),
+        "ratio_to_log_n": float(td) / log_n,
+        "direct_wait_baseline": expected_direct_wait(n),
+    }
+
+
+def run(scale: str = "default", *, seed: SeedLike = 2014) -> ExperimentReport:
+    """Run E1 and build its report."""
+    config = SCALES[scale]
+    sweep = ParameterSweep({"n": list(config["sizes"])}, constants={"directed": config["directed"]})
+    experiment = Experiment(
+        name="E1-temporal-diameter",
+        trial=trial_temporal_diameter,
+        description="Temporal diameter of the normalized U-RT clique (Theorem 4)",
+    )
+    runner = MonteCarloRunner(
+        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
+    )
+    sweep_result = runner.run_sweep(experiment, sweep)
+
+    records: list[dict[str, Any]] = []
+    sizes: list[float] = []
+    diameters: list[float] = []
+    for point in sweep_result:
+        n = int(point.parameters["n"])
+        stats = point.summary("temporal_diameter")
+        ratio = point.summary("ratio_to_log_n")
+        records.append(
+            {
+                "n": n,
+                "mean_temporal_diameter": stats.mean,
+                "ci_low": stats.ci_low,
+                "ci_high": stats.ci_high,
+                "log_n": math.log(n),
+                "ratio_TD_over_log_n": ratio.mean,
+                "direct_wait_baseline": expected_direct_wait(n),
+            }
+        )
+        sizes.append(float(n))
+        diameters.append(stats.mean)
+
+    log_fit = fit_log_model(sizes, diameters)
+    power_fit = fit_power_model(sizes, diameters)
+    gamma = log_fit.coefficients[0]
+    ratios = [record["ratio_TD_over_log_n"] for record in records]
+    ratio_spread = max(ratios) - min(ratios)
+    largest_n = int(sizes[-1])
+    largest_td = diameters[-1]
+
+    comparison = [
+        ComparisonRow(
+            quantity="TD grows as Θ(log n)",
+            paper="TD ≤ γ·log n whp, TD = Ω(log n) (Thm 4 + Remark)",
+            measured=(
+                f"fit TD ≈ {gamma:.2f}·log n + {log_fit.coefficients[1]:.2f} "
+                f"(R²={log_fit.r_squared:.3f}); power-law exponent "
+                f"{power_fit.coefficients[1]:.2f}"
+            ),
+            matches=log_fit.r_squared > 0.8 and power_fit.coefficients[1] < 0.6,
+            note="logarithmic fit explains the growth; clearly sub-polynomial",
+        ),
+        ComparisonRow(
+            quantity="TD/log n stabilises at a constant γ",
+            paper="γ constant, γ > 1",
+            measured=f"ratios in [{min(ratios):.2f}, {max(ratios):.2f}] across the sweep",
+            matches=ratio_spread < max(ratios) and min(ratios) >= 1.0,
+            note="ratio varies slowly compared to its magnitude",
+        ),
+        ComparisonRow(
+            quantity=f"multi-hop journeys beat the direct edge (n={largest_n})",
+            paper="direct wait ≈ n/2, journeys O(log n)",
+            measured=(
+                f"TD ≈ {largest_td:.1f} vs direct-wait baseline "
+                f"{expected_direct_wait(largest_n):.1f}"
+            ),
+            matches=largest_td < expected_direct_wait(largest_n) / 2,
+            note="the 'hostile clique is not secure' headline result",
+        ),
+    ]
+    return ExperimentReport(
+        experiment_id="E1",
+        title="Temporal diameter of the normalized U-RT clique",
+        claim=(
+            "The temporal diameter of the directed clique with one uniform random "
+            "label per arc from {1,…,n} is Θ(log n) whp and in expectation "
+            "(Theorems 3–4 and the Remark in §3.4), far below the ≈ n/2 expected "
+            "wait of the single direct edge."
+        ),
+        records=records,
+        comparison=comparison,
+        notes=(
+            "Exact temporal diameters are computed per instance via all-pairs "
+            "foremost journeys; the expectation is estimated over "
+            f"{config['repetitions']} instances per n. Prediction reference: "
+            f"γ·log n with fitted γ={temporal_diameter_prediction(2, gamma=gamma) / math.log(2):.2f}."
+        ),
+        scale=scale,
+    )

@@ -1,0 +1,150 @@
+"""Experiment registry and the ``repro-experiments`` command-line interface.
+
+The registry maps the DESIGN.md experiment identifiers (E1 … E7) to the
+corresponding ``run(scale, seed)`` functions; the CLI runs any subset at a
+chosen scale and writes the combined EXPERIMENTS.md report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from ..exceptions import ConfigurationError
+from ..utils.logging import enable_console_logging
+from ..utils.seeding import SeedLike
+from . import (
+    exp_dissemination,
+    exp_er_connectivity,
+    exp_expansion,
+    exp_fcase,
+    exp_general_por,
+    exp_lifetime,
+    exp_multilabel,
+    exp_star_por,
+    exp_temporal_diameter,
+)
+from .reporting import ExperimentReport, write_experiments_markdown
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiments", "main"]
+
+#: Registry: experiment id → run callable (``run(scale=..., seed=...)``).
+EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
+    "E1": exp_temporal_diameter.run,
+    "E2": exp_lifetime.run,
+    "E3": exp_expansion.run,
+    "E4": exp_dissemination.run,
+    "E5": exp_star_por.run,
+    "E6": exp_general_por.run,
+    "E7": exp_er_connectivity.run,
+    "E8": exp_fcase.run,
+    "E9": exp_multilabel.run,
+}
+
+#: Human-readable one-line description per experiment id.
+DESCRIPTIONS: dict[str, str] = {
+    "E1": "Temporal diameter of the normalized U-RT clique (Theorem 4)",
+    "E2": "Temporal diameter vs. lifetime (Theorem 5)",
+    "E3": "Expansion Process / Algorithm 1 (Theorem 3, Figure 1)",
+    "E4": "Flooding dissemination vs. phone-call baseline (Section 3.5)",
+    "E5": "Star graph labels-per-edge threshold and PoR (Theorem 6, Figure 2)",
+    "E6": "General graphs: Theorems 7-8 and the box assignment (Figure 3)",
+    "E7": "Erdos-Renyi connectivity threshold substrate",
+    "E8": "Extension: non-uniform label distributions (F-CASE)",
+    "E9": "Extension: multi-label random cliques",
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
+    """Look up an experiment's run function by its identifier (case-insensitive)."""
+    key = experiment_id.strip().upper()
+    if key not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiments(
+    ids: Sequence[str] | None = None,
+    *,
+    scale: str = "default",
+    seed: SeedLike = 2014,
+) -> list[ExperimentReport]:
+    """Run the requested experiments (all of them by default) and return the reports."""
+    selected = list(ids) if ids else sorted(EXPERIMENTS)
+    reports = []
+    for experiment_id in selected:
+        run = get_experiment(experiment_id)
+        reports.append(run(scale, seed=seed))
+    return reports
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the claims of 'Ephemeral Networks with Random Availability "
+            "of Links' (SPAA 2014). Runs Monte-Carlo experiments and writes a "
+            "paper-vs-measured report."
+        ),
+    )
+    parser.add_argument(
+        "--ids",
+        nargs="*",
+        default=None,
+        metavar="EID",
+        help="experiment ids to run (default: all). " + "; ".join(
+            f"{key}: {value}" for key, value in DESCRIPTIONS.items()
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "default", "full"),
+        default="default",
+        help="parameter preset (quick ≈ seconds, default ≈ minutes, full ≈ tens of minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=2014, help="master RNG seed")
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the combined markdown report to this path (e.g. EXPERIMENTS.md)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-experiment console output"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    enable_console_logging()
+    try:
+        reports = run_experiments(args.ids, scale=args.scale, seed=args.seed)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        for report in reports:
+            print(report.to_text())
+            print()
+    if args.output:
+        path = write_experiments_markdown(reports, args.output)
+        print(f"wrote {path}")
+    failures = [report.experiment_id for report in reports if not report.consistent]
+    if failures:
+        print(
+            f"warning: {len(failures)} experiment(s) reported inconsistencies: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Round-trip conversion between :class:`StaticGraph` and networkx graphs.
+
+networkx is only used at the boundary (interoperability and cross-validation
+in the test suite); all hot paths stay on the array representation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..exceptions import GraphError
+from .static_graph import StaticGraph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: StaticGraph) -> "nx.Graph | nx.DiGraph":
+    """Convert a :class:`StaticGraph` to the corresponding networkx graph."""
+    nx_graph: nx.Graph | nx.DiGraph = nx.DiGraph() if graph.directed else nx.Graph()
+    nx_graph.add_nodes_from(range(graph.n))
+    nx_graph.add_edges_from(graph.edges())
+    if graph.name:
+        nx_graph.graph["name"] = graph.name
+    return nx_graph
+
+
+def from_networkx(nx_graph: "nx.Graph | nx.DiGraph") -> StaticGraph:
+    """Convert a networkx graph with integer-convertible nodes to a StaticGraph.
+
+    Node labels are relabelled to ``0 … n−1`` following the sorted order of the
+    original labels when they are sortable, or insertion order otherwise.
+    Multigraphs are rejected because the temporal-label machinery attaches
+    label *sets* to simple edges.
+    """
+    if nx_graph.is_multigraph():
+        raise GraphError("multigraphs are not supported; collapse parallel edges first")
+    nodes = list(nx_graph.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
+    name = str(nx_graph.graph.get("name", ""))
+    return StaticGraph(
+        len(nodes), edges, directed=nx_graph.is_directed(), name=name
+    )

@@ -1,0 +1,289 @@
+"""Array-based static (di)graph representation.
+
+:class:`StaticGraph` stores the edge list as two parallel ``int64`` arrays
+(``tails``/``heads``) plus a CSR-style index for fast out-neighbour lookups.
+This keeps the hot Monte-Carlo kernels (label assignment, journey sweeps)
+fully vectorised: they operate directly on the edge arrays without Python
+per-edge loops, following the "vectorise the inner loop" idiom of the
+scientific-Python performance guides.
+
+Undirected graphs are stored as symmetric digraphs (both arc directions are
+present) because the paper's journey semantics always traverse an undirected
+edge in either direction; the ``directed`` flag records the user's intent and
+``edge_pairs`` exposes the canonical undirected edge list when needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import GraphError, InvalidEdgeError, InvalidVertexError
+from ..utils.validation import check_non_negative_int
+
+__all__ = ["StaticGraph"]
+
+
+class StaticGraph:
+    """A fixed vertex-set graph with an array edge list.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.  Vertices are the integers ``0 … n−1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  For undirected graphs each pair is an
+        unordered edge (self-loops are rejected, duplicates are collapsed);
+        for directed graphs each pair is an arc.
+    directed:
+        Whether the graph is directed.
+    name:
+        Optional human-readable name used in ``repr`` and reports.
+    """
+
+    __slots__ = (
+        "_n",
+        "_directed",
+        "_name",
+        "_tails",
+        "_heads",
+        "_pair_tails",
+        "_pair_heads",
+        "_out_start",
+        "_out_neighbors",
+        "_out_arc_index",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int]] = (),
+        *,
+        directed: bool = False,
+        name: str = "",
+    ) -> None:
+        self._n = check_non_negative_int(n, "n")
+        self._directed = bool(directed)
+        self._name = str(name)
+
+        pairs = self._normalise_edges(edges)
+        self._pair_tails = pairs[:, 0].copy() if pairs.size else np.empty(0, np.int64)
+        self._pair_heads = pairs[:, 1].copy() if pairs.size else np.empty(0, np.int64)
+
+        if self._directed:
+            arcs = pairs
+        else:
+            # Store both orientations so journey kernels need no special case.
+            arcs = np.concatenate([pairs, pairs[:, ::-1]], axis=0) if pairs.size else pairs
+        self._tails = arcs[:, 0].copy() if arcs.size else np.empty(0, np.int64)
+        self._heads = arcs[:, 1].copy() if arcs.size else np.empty(0, np.int64)
+        self._build_adjacency()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _normalise_edges(self, edges: Iterable[tuple[int, int]]) -> np.ndarray:
+        edge_list = list(edges)
+        if not edge_list:
+            return np.empty((0, 2), dtype=np.int64)
+        arr = np.asarray(edge_list, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphError(
+                f"edges must be (u, v) pairs, got an array of shape {arr.shape!r}"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= self._n):
+            bad = arr[(arr < 0).any(axis=1) | (arr >= self._n).any(axis=1)][0]
+            raise InvalidVertexError(int(bad.max()), self._n)
+        if np.any(arr[:, 0] == arr[:, 1]):
+            loop = arr[arr[:, 0] == arr[:, 1]][0]
+            raise GraphError(f"self-loops are not allowed, got {tuple(loop)!r}")
+        if not self._directed:
+            arr = np.sort(arr, axis=1)
+        # Deduplicate while keeping a deterministic (sorted) order.
+        arr = np.unique(arr, axis=0)
+        return arr
+
+    def _build_adjacency(self) -> None:
+        order = np.argsort(self._tails, kind="stable")
+        sorted_tails = self._tails[order]
+        self._out_neighbors = self._heads[order]
+        self._out_arc_index = order
+        counts = np.bincount(sorted_tails, minlength=self._n)
+        self._out_start = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._out_start[1:])
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def directed(self) -> bool:
+        """Whether the graph was constructed as a digraph."""
+        return self._directed
+
+    @property
+    def name(self) -> str:
+        """Human-readable graph name (may be empty)."""
+        return self._name
+
+    @property
+    def m(self) -> int:
+        """Number of edges (undirected) or arcs (directed)."""
+        return int(self._pair_tails.size)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored arcs (``2·m`` for undirected graphs)."""
+        return int(self._tails.size)
+
+    @property
+    def arc_tails(self) -> np.ndarray:
+        """Tail vertex of every stored arc (read-only view)."""
+        view = self._tails.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def arc_heads(self) -> np.ndarray:
+        """Head vertex of every stored arc (read-only view)."""
+        view = self._heads.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def edge_pairs(self) -> np.ndarray:
+        """Canonical ``(m, 2)`` edge array (one row per undirected edge / arc)."""
+        return np.stack([self._pair_tails, self._pair_heads], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def vertices(self) -> range:
+        """Return the vertex index range ``0 … n−1``."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over canonical edges as Python ``(u, v)`` tuples."""
+        for u, v in zip(self._pair_tails.tolist(), self._pair_heads.tolist()):
+            yield (u, v)
+
+    def arcs(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all stored arcs (both directions for undirected graphs)."""
+        for u, v in zip(self._tails.tolist(), self._heads.tolist()):
+            yield (u, v)
+
+    def has_vertex(self, v: int) -> bool:
+        """Whether ``v`` is a valid vertex index."""
+        return 0 <= v < self._n
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the arc ``(u, v)`` (directed) or edge ``{u, v}`` exists."""
+        if not (self.has_vertex(u) and self.has_vertex(v)):
+            return False
+        return bool(np.any(self.out_neighbors(u) == v))
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        """Out-neighbours of ``u`` as a read-only array."""
+        if not self.has_vertex(u):
+            raise InvalidVertexError(u, self._n)
+        lo, hi = self._out_start[u], self._out_start[u + 1]
+        view = self._out_neighbors[lo:hi].view()
+        view.flags.writeable = False
+        return view
+
+    def out_arcs(self, u: int) -> np.ndarray:
+        """Indices (into the arc arrays) of arcs leaving ``u``."""
+        if not self.has_vertex(u):
+            raise InvalidVertexError(u, self._n)
+        lo, hi = self._out_start[u], self._out_start[u + 1]
+        view = self._out_arc_index[lo:hi].view()
+        view.flags.writeable = False
+        return view
+
+    def degree(self, u: int) -> int:
+        """Out-degree of ``u`` (equals the undirected degree for undirected graphs)."""
+        if not self.has_vertex(u):
+            raise InvalidVertexError(u, self._n)
+        return int(self._out_start[u + 1] - self._out_start[u])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self._out_start)
+
+    def edge_index(self, u: int, v: int) -> int:
+        """Return the canonical edge index of ``{u, v}`` (or arc ``(u, v)``).
+
+        Raises
+        ------
+        InvalidEdgeError
+            If the edge does not exist.
+        """
+        if not self._directed and u > v:
+            u, v = v, u
+        mask = (self._pair_tails == u) & (self._pair_heads == v)
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            raise InvalidEdgeError((u, v))
+        return int(idx[0])
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def to_directed(self) -> "StaticGraph":
+        """Return the directed version (each undirected edge becomes two arcs)."""
+        if self._directed:
+            return self
+        arcs = list(zip(self._tails.tolist(), self._heads.tolist()))
+        return StaticGraph(self._n, arcs, directed=True, name=self._name)
+
+    def reverse(self) -> "StaticGraph":
+        """Return the graph with every arc reversed (no-op for undirected)."""
+        if not self._directed:
+            return self
+        arcs = list(zip(self._heads.tolist(), self._tails.tolist()))
+        return StaticGraph(self._n, arcs, directed=True, name=self._name)
+
+    def subgraph(self, vertices: Sequence[int]) -> "StaticGraph":
+        """Return the induced subgraph on ``vertices`` (re-indexed from 0)."""
+        keep = np.zeros(self._n, dtype=bool)
+        vert_arr = np.asarray(list(vertices), dtype=np.int64)
+        if vert_arr.size and (vert_arr.min() < 0 or vert_arr.max() >= self._n):
+            raise InvalidVertexError(int(vert_arr.max()), self._n)
+        keep[vert_arr] = True
+        remap = -np.ones(self._n, dtype=np.int64)
+        remap[vert_arr] = np.arange(vert_arr.size)
+        mask = keep[self._pair_tails] & keep[self._pair_heads]
+        new_edges = np.stack(
+            [remap[self._pair_tails[mask]], remap[self._pair_heads[mask]]], axis=1
+        )
+        return StaticGraph(
+            int(vert_arr.size),
+            [tuple(e) for e in new_edges.tolist()],
+            directed=self._directed,
+            name=self._name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        kind = "digraph" if self._directed else "graph"
+        label = f" {self._name!r}" if self._name else ""
+        return f"StaticGraph({kind}{label}, n={self._n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StaticGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._directed == other._directed
+            and np.array_equal(self.edge_pairs, other.edge_pairs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._directed, self.edge_pairs.tobytes()))

@@ -1,0 +1,18 @@
+"""Input/output helpers: table rendering and result persistence."""
+
+from .tables import format_table, format_markdown_table
+from .serialization import (
+    read_records_csv,
+    read_records_json,
+    write_records_csv,
+    write_records_json,
+)
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "write_records_csv",
+    "read_records_csv",
+    "write_records_json",
+    "read_records_json",
+]

@@ -1,0 +1,97 @@
+"""ASCII / markdown table rendering for experiment reports.
+
+The benchmark harness prints, for every experiment, the rows the paper's
+claims predict — these helpers keep the formatting consistent between the
+console reports, the example scripts and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _format_value(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def _normalise(
+    records: Sequence[Mapping[str, Any]], columns: Sequence[str] | None
+) -> tuple[list[str], list[list[str]]]:
+    if not records:
+        return list(columns or []), []
+    if columns is None:
+        seen: dict[str, None] = {}
+        for record in records:
+            for key in record:
+                seen.setdefault(str(key), None)
+        columns = list(seen)
+    return list(columns), records  # type: ignore[return-value]
+
+
+def format_table(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = ".3f",
+    title: str = "",
+) -> str:
+    """Render records as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    records:
+        One mapping per row.
+    columns:
+        Column order; defaults to the union of keys in first-seen order.
+    float_format:
+        Format spec applied to float values.
+    title:
+        Optional title printed above the table.
+    """
+    column_names, rows = _normalise(records, columns)
+    cells = [
+        [_format_value(row.get(col, ""), float_format) for col in column_names]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+        for i, col in enumerate(column_names)
+    ]
+    header = "  ".join(col.ljust(width) for col, width in zip(column_names, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        for row in cells
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, separator, *body])
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = ".3f",
+) -> str:
+    """Render records as a GitHub-flavoured markdown table."""
+    column_names, rows = _normalise(records, columns)
+    if not column_names:
+        return ""
+    header = "| " + " | ".join(column_names) + " |"
+    separator = "|" + "|".join("---" for _ in column_names) + "|"
+    body = [
+        "| "
+        + " | ".join(_format_value(row.get(col, ""), float_format) for col in column_names)
+        + " |"
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])

@@ -1,0 +1,138 @@
+"""Sequential stopping rules for Monte-Carlo estimation.
+
+The runner can either execute a fixed number of repetitions
+(:class:`FixedBudgetStopping`) or keep sampling until the confidence interval
+of a designated metric is tight enough (:class:`RelativeErrorStopping`).  The
+latter is used by the higher-accuracy experiment presets where the variance of
+the temporal diameter differs a lot between small and large ``n``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+from ..exceptions import ConfigurationError, ConvergenceError
+from ..utils.validation import check_fraction, check_positive_int
+from .statistics import summarize
+
+__all__ = ["StoppingRule", "FixedBudgetStopping", "RelativeErrorStopping"]
+
+
+class StoppingRule(abc.ABC):
+    """Decides, given the metrics collected so far, whether to keep sampling."""
+
+    @abc.abstractmethod
+    def should_stop(self, metrics: Mapping[str, Sequence[float]]) -> bool:
+        """Whether enough repetitions have been collected."""
+
+    @property
+    @abc.abstractmethod
+    def max_repetitions(self) -> int:
+        """Hard cap on the number of repetitions."""
+
+    @property
+    def min_repetitions(self) -> int:
+        """Minimum number of repetitions before the rule is consulted."""
+        return 1
+
+    def on_budget_exhausted(self, repetitions: int) -> None:
+        """Hook called when the cap is reached without the rule being satisfied."""
+
+
+class FixedBudgetStopping(StoppingRule):
+    """Run exactly ``repetitions`` trials."""
+
+    def __init__(self, repetitions: int) -> None:
+        self._repetitions = check_positive_int(repetitions, "repetitions")
+
+    @property
+    def max_repetitions(self) -> int:
+        return self._repetitions
+
+    @property
+    def min_repetitions(self) -> int:
+        return self._repetitions
+
+    def should_stop(self, metrics: Mapping[str, Sequence[float]]) -> bool:
+        if not metrics:
+            return False
+        some_metric = next(iter(metrics.values()))
+        return len(some_metric) >= self._repetitions
+
+    def __repr__(self) -> str:
+        return f"FixedBudgetStopping(repetitions={self._repetitions})"
+
+
+class RelativeErrorStopping(StoppingRule):
+    """Stop once the CI half-width of ``metric`` is below a relative tolerance.
+
+    Parameters
+    ----------
+    metric:
+        The metric whose confidence interval controls stopping.
+    relative_tolerance:
+        Target relative half-width (e.g. 0.05 for ±5%).
+    min_repetitions / max_repetitions:
+        Sampling floor and hard cap.
+    strict:
+        When True, exhausting the cap without reaching the tolerance raises
+        :class:`ConvergenceError`; otherwise the available sample is used.
+    """
+
+    def __init__(
+        self,
+        metric: str,
+        *,
+        relative_tolerance: float = 0.05,
+        min_repetitions: int = 10,
+        max_repetitions: int = 1000,
+        confidence: float = 0.95,
+        strict: bool = False,
+    ) -> None:
+        if not metric:
+            raise ConfigurationError("the controlling metric name must be non-empty")
+        self._metric = metric
+        self._tolerance = check_fraction(relative_tolerance, "relative_tolerance")
+        self._min = check_positive_int(min_repetitions, "min_repetitions")
+        self._max = check_positive_int(max_repetitions, "max_repetitions")
+        if self._max < self._min:
+            raise ConfigurationError(
+                f"max_repetitions ({self._max}) must be >= min_repetitions ({self._min})"
+            )
+        self._confidence = confidence
+        self._strict = bool(strict)
+
+    @property
+    def metric(self) -> str:
+        """Name of the controlling metric."""
+        return self._metric
+
+    @property
+    def max_repetitions(self) -> int:
+        return self._max
+
+    @property
+    def min_repetitions(self) -> int:
+        return self._min
+
+    def should_stop(self, metrics: Mapping[str, Sequence[float]]) -> bool:
+        values = metrics.get(self._metric)
+        if values is None or len(values) < self._min:
+            return False
+        stats = summarize(values, confidence=self._confidence)
+        return stats.relative_half_width <= self._tolerance
+
+    def on_budget_exhausted(self, repetitions: int) -> None:
+        if self._strict:
+            raise ConvergenceError(
+                f"metric {self._metric!r} did not reach relative tolerance "
+                f"{self._tolerance} within {repetitions} repetitions",
+                iterations=repetitions,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"RelativeErrorStopping(metric={self._metric!r}, "
+            f"relative_tolerance={self._tolerance}, min={self._min}, max={self._max})"
+        )

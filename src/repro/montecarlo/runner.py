@@ -1,0 +1,118 @@
+"""The Monte-Carlo runner: repeated independent trials with seeded streams."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..utils.logging import get_logger
+from ..utils.seeding import SeedLike, spawn_rngs
+from ..utils.timing import Timer
+from ..utils.validation import check_positive_int
+from .convergence import FixedBudgetStopping, StoppingRule
+from .experiment import Experiment
+from .results import SweepResult, TrialResult
+from .sweep import ParameterSweep
+
+__all__ = ["MonteCarloRunner", "run_trials"]
+
+_LOGGER = get_logger("montecarlo.runner")
+
+
+def run_trials(
+    experiment: Experiment,
+    *,
+    repetitions: int = 30,
+    seed: SeedLike = None,
+) -> TrialResult:
+    """Run a fixed number of independent trials of an experiment.
+
+    Thin convenience wrapper over :class:`MonteCarloRunner` for the common
+    fixed-budget case.
+    """
+    runner = MonteCarloRunner(
+        stopping=FixedBudgetStopping(check_positive_int(repetitions, "repetitions")),
+        seed=seed,
+    )
+    return runner.run(experiment)
+
+
+class MonteCarloRunner:
+    """Runs experiments: repeated trials, independent RNG streams, aggregation.
+
+    Parameters
+    ----------
+    stopping:
+        The stopping rule (fixed budget by default: 30 repetitions).
+    seed:
+        Master seed.  Each trial receives its own generator spawned from this
+        seed, so results are reproducible and independent of execution order.
+    """
+
+    def __init__(
+        self,
+        *,
+        stopping: StoppingRule | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self._stopping = stopping if stopping is not None else FixedBudgetStopping(30)
+        self._seed = seed
+
+    @property
+    def stopping(self) -> StoppingRule:
+        """The stopping rule in use."""
+        return self._stopping
+
+    def run(self, experiment: Experiment) -> TrialResult:
+        """Run one experiment at its current parameter point."""
+        max_reps = self._stopping.max_repetitions
+        rngs = spawn_rngs(self._seed, max_reps)
+        metrics: dict[str, list[float]] = {}
+        repetitions = 0
+        with Timer(experiment.name) as timer:
+            for rng in rngs:
+                trial_metrics = experiment.run_single(rng)
+                for key, value in trial_metrics.items():
+                    metrics.setdefault(key, []).append(value)
+                repetitions += 1
+                if (
+                    repetitions >= self._stopping.min_repetitions
+                    and self._stopping.should_stop(metrics)
+                ):
+                    break
+            else:
+                self._stopping.on_budget_exhausted(repetitions)
+        _LOGGER.debug(
+            "experiment %s: %d repetitions in %s",
+            experiment.name,
+            repetitions,
+            timer,
+        )
+        return TrialResult(
+            experiment=experiment.name,
+            parameters=dict(experiment.parameters),
+            metrics={key: tuple(values) for key, values in metrics.items()},
+            repetitions=repetitions,
+        )
+
+    def run_sweep(
+        self,
+        experiment: Experiment,
+        sweep: ParameterSweep | Sequence[Mapping[str, object]],
+    ) -> SweepResult:
+        """Run the experiment at every parameter point of a sweep.
+
+        Each point gets its own independent master seed derived from the
+        runner seed so that adding or removing points does not perturb the
+        other points' results.
+        """
+        points = list(sweep.points()) if isinstance(sweep, ParameterSweep) else list(sweep)
+        result = SweepResult(experiment=experiment.name)
+        point_seeds = spawn_rngs(self._seed, len(points))
+        for point, point_seed in zip(points, point_seeds):
+            configured = experiment.with_parameters(**dict(point))
+            runner = MonteCarloRunner(stopping=self._stopping, seed=point_seed)
+            result.add(runner.run(configured))
+            _LOGGER.info(
+                "experiment %s: finished point %s", experiment.name, dict(point)
+            )
+        return result

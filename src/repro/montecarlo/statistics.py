@@ -1,0 +1,137 @@
+"""Summary statistics and confidence intervals for Monte-Carlo metrics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..utils.seeding import SeedLike, normalize_rng
+from ..utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "SummaryStatistics",
+    "summarize",
+    "normal_confidence_interval",
+    "bootstrap_confidence_interval",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryStatistics:
+    """Summary of a sample of a single metric.
+
+    Attributes
+    ----------
+    count / mean / std / minimum / maximum / median:
+        The usual sample statistics (``std`` uses the unbiased ``ddof=1``
+        estimator, 0.0 when only one sample is available).
+    ci_low / ci_high:
+        Normal-approximation confidence interval at the level used by
+        :func:`summarize` (95% by default).
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def half_width(self) -> float:
+        """Half-width of the confidence interval."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width of the CI relative to the absolute mean (inf for mean 0)."""
+        if self.mean == 0.0:
+            return math.inf
+        return self.half_width / abs(self.mean)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary representation (used by the CSV/JSON writers)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def normal_confidence_interval(
+    values: Sequence[float], *, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean of ``values``.
+
+    With fewer than two samples the interval degenerates to the single value.
+    """
+    confidence = check_probability(confidence, "confidence")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot build a confidence interval from an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return (mean, mean)
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    return (mean - z * sem, mean + z * sem)
+
+
+def bootstrap_confidence_interval(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: SeedLike = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean of ``values``.
+
+    More robust than the normal approximation for the heavily skewed metrics
+    (e.g. broadcast times conditioned on success) that show up in the
+    experiments.
+    """
+    confidence = check_probability(confidence, "confidence")
+    resamples = check_positive_int(resamples, "resamples")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if arr.size == 1:
+        value = float(arr[0])
+        return (value, value)
+    rng = normalize_rng(seed)
+    indices = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return (float(low), float(high))
+
+
+def summarize(
+    values: Sequence[float], *, confidence: float = 0.95
+) -> SummaryStatistics:
+    """Compute :class:`SummaryStatistics` for a metric sample."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    ci_low, ci_high = normal_confidence_interval(arr, confidence=confidence)
+    return SummaryStatistics(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        ci_low=ci_low,
+        ci_high=ci_high,
+    )

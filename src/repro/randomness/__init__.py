@@ -1,0 +1,39 @@
+"""Probability substrate: label distributions and tail-bound calculators.
+
+The paper's UNI-CASE draws each label uniformly from ``{1, …, a}``; the
+F-CASE generalisation allows an arbitrary distribution ``F`` over the same
+support.  :class:`LabelDistribution` and its concrete subclasses implement
+both, and :mod:`repro.randomness.chernoff` provides the Chernoff/union-bound
+calculators that appear in the paper's proofs (used by the analysis layer to
+compute the theoretical failure probabilities next to the measured ones).
+"""
+
+from .distributions import (
+    GeometricLabelDistribution,
+    LabelDistribution,
+    TruncatedZipfLabelDistribution,
+    UniformLabelDistribution,
+    distribution_from_name,
+)
+from .chernoff import (
+    binomial_chernoff_lower_tail,
+    binomial_chernoff_two_sided,
+    binomial_chernoff_upper_tail,
+    union_bound,
+)
+from ..utils.seeding import SeedLike, normalize_rng, spawn_rngs
+
+__all__ = [
+    "LabelDistribution",
+    "UniformLabelDistribution",
+    "GeometricLabelDistribution",
+    "TruncatedZipfLabelDistribution",
+    "distribution_from_name",
+    "binomial_chernoff_lower_tail",
+    "binomial_chernoff_upper_tail",
+    "binomial_chernoff_two_sided",
+    "union_bound",
+    "SeedLike",
+    "normalize_rng",
+    "spawn_rngs",
+]

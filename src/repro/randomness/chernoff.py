@@ -1,0 +1,82 @@
+"""Chernoff and union-bound calculators used in the paper's proofs.
+
+The analysis of the Expansion Process (Section 3) repeatedly applies the
+multiplicative Chernoff bound to binomial random variables (the sizes of the
+expansion layers ``Γ_i(s)``) and then a union bound over ``Θ(log n)`` events.
+These helpers compute the same analytic quantities so the experiment reports
+can show the theoretical failure probability next to the measured one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_fraction, check_non_negative_int, check_probability
+
+__all__ = [
+    "binomial_chernoff_lower_tail",
+    "binomial_chernoff_upper_tail",
+    "binomial_chernoff_two_sided",
+    "union_bound",
+]
+
+
+def binomial_chernoff_lower_tail(trials: int, p: float, beta: float) -> float:
+    """Upper bound on ``P[X <= (1 − β)·N·p]`` for ``X ~ Binomial(N, p)``.
+
+    Uses the standard multiplicative form ``exp(−β²·N·p / 2)`` — the same
+    bound the paper applies (with ``β = 1/2``) in Lemma 1 and the expansion
+    step analysis.
+    """
+    trials = check_non_negative_int(trials, "trials")
+    p = check_probability(p, "p")
+    beta = check_fraction(beta, "beta")
+    if beta > 1.0:
+        raise ValueError(f"beta must lie in (0, 1], got {beta}")
+    return float(np.exp(-(beta**2) * trials * p / 2.0))
+
+
+def binomial_chernoff_upper_tail(trials: int, p: float, beta: float) -> float:
+    """Upper bound on ``P[X >= (1 + β)·N·p]`` for ``X ~ Binomial(N, p)``.
+
+    Uses ``exp(−β²·N·p / 3)``, valid for ``β ∈ (0, 1]``.
+    """
+    trials = check_non_negative_int(trials, "trials")
+    p = check_probability(p, "p")
+    beta = check_fraction(beta, "beta")
+    if beta > 1.0:
+        raise ValueError(f"beta must lie in (0, 1], got {beta}")
+    return float(np.exp(-(beta**2) * trials * p / 3.0))
+
+
+def binomial_chernoff_two_sided(trials: int, p: float, beta: float) -> float:
+    """Upper bound on ``P[|X − N·p| >= β·N·p]`` (sum of the two one-sided bounds).
+
+    The paper states the two-sided event
+    ``#successes ∈ (1 ± β)·N·p`` holds with probability at least
+    ``1 − exp(−β²·N·p / 2)``; this helper returns the (slightly looser but
+    standard) sum of both tails, clipped to 1.
+    """
+    total = binomial_chernoff_lower_tail(trials, p, beta) + binomial_chernoff_upper_tail(
+        trials, p, beta
+    )
+    return float(min(1.0, total))
+
+
+def union_bound(*failure_probabilities: float) -> float:
+    """Union bound over failure events, clipped to 1.
+
+    Accepts either separate float arguments or any mix of floats and
+    iterables of floats.
+    """
+    total = 0.0
+    for item in failure_probabilities:
+        if np.isscalar(item):
+            values = [float(item)]  # type: ignore[arg-type]
+        else:
+            values = [float(x) for x in item]  # type: ignore[union-attr]
+        for value in values:
+            if value < 0.0:
+                raise ValueError(f"probabilities must be non-negative, got {value}")
+            total += value
+    return float(min(1.0, total))

@@ -1,0 +1,162 @@
+"""Label distributions over the discrete lifetime ``{1, …, a}``.
+
+Definition 4 of the paper (UNI-CASE) assigns each edge a single label drawn
+uniformly from ``{1, …, a}``; the Note after Definition 4 sketches the F-CASE
+where labels follow an arbitrary distribution ``F`` over the same support.
+:class:`LabelDistribution` is the abstract interface for ``F``; the uniform
+case is :class:`UniformLabelDistribution`, and two non-uniform examples
+(geometric-like and Zipf-like, both truncated to the lifetime) are provided to
+exercise the F-RTN code path in experiments and tests.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..utils.seeding import SeedLike, normalize_rng
+from ..utils.validation import check_fraction, check_positive_int
+
+__all__ = [
+    "LabelDistribution",
+    "UniformLabelDistribution",
+    "GeometricLabelDistribution",
+    "TruncatedZipfLabelDistribution",
+    "distribution_from_name",
+]
+
+
+class LabelDistribution(abc.ABC):
+    """A probability distribution over the label set ``{1, …, lifetime}``."""
+
+    def __init__(self, lifetime: int) -> None:
+        self._lifetime = check_positive_int(lifetime, "lifetime")
+
+    @property
+    def lifetime(self) -> int:
+        """The largest label ``a``; labels are drawn from ``{1, …, a}``."""
+        return self._lifetime
+
+    @abc.abstractmethod
+    def probabilities(self) -> np.ndarray:
+        """Return the probability mass of each label ``1 … a`` (length ``a``)."""
+
+    def sample(self, size: int | tuple[int, ...], *, seed: SeedLike = None) -> np.ndarray:
+        """Draw labels of the requested shape (values in ``1 … a``)."""
+        rng = normalize_rng(seed)
+        pmf = self.probabilities()
+        return rng.choice(np.arange(1, self._lifetime + 1), size=size, p=pmf)
+
+    def mean(self) -> float:
+        """Expected label value."""
+        labels = np.arange(1, self._lifetime + 1)
+        return float(np.dot(labels, self.probabilities()))
+
+    def cdf(self) -> np.ndarray:
+        """Cumulative distribution over the labels ``1 … a``."""
+        return np.cumsum(self.probabilities())
+
+    def probability_in_interval(self, low: float, high: float) -> float:
+        """Probability that a label falls in the half-open interval ``(low, high]``.
+
+        The paper's expansion-process analysis repeatedly computes the
+        probability that a uniform label falls inside an interval ``∆_i``;
+        this helper generalises that to any distribution.
+        """
+        labels = np.arange(1, self._lifetime + 1)
+        mask = (labels > low) & (labels <= high)
+        return float(self.probabilities()[mask].sum())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(lifetime={self._lifetime})"
+
+
+class UniformLabelDistribution(LabelDistribution):
+    """The UNI-CASE distribution: every label in ``{1, …, a}`` equally likely."""
+
+    def probabilities(self) -> np.ndarray:
+        return np.full(self.lifetime, 1.0 / self.lifetime)
+
+    def sample(self, size: int | tuple[int, ...], *, seed: SeedLike = None) -> np.ndarray:
+        # Direct integer sampling avoids building the pmf for the common case.
+        rng = normalize_rng(seed)
+        return rng.integers(1, self.lifetime + 1, size=size, dtype=np.int64)
+
+    def mean(self) -> float:
+        return (self.lifetime + 1) / 2.0
+
+
+class GeometricLabelDistribution(LabelDistribution):
+    """A truncated geometric distribution favouring early labels.
+
+    ``P(label = i) ∝ (1 − q)^(i−1) · q`` for ``i ∈ {1, …, a}``, renormalised
+    over the finite support.  Models links that are more likely to be
+    "unguarded" early in the lifetime.
+    """
+
+    def __init__(self, lifetime: int, q: float = 0.1) -> None:
+        super().__init__(lifetime)
+        q = check_fraction(q, "q")
+        if q >= 1.0:
+            raise ValueError(f"q must lie in (0, 1), got {q}")
+        self._q = q
+
+    @property
+    def q(self) -> float:
+        """Per-step success probability of the underlying geometric law."""
+        return self._q
+
+    def probabilities(self) -> np.ndarray:
+        i = np.arange(1, self.lifetime + 1)
+        raw = (1.0 - self._q) ** (i - 1) * self._q
+        return raw / raw.sum()
+
+    def __repr__(self) -> str:
+        return f"GeometricLabelDistribution(lifetime={self.lifetime}, q={self._q})"
+
+
+class TruncatedZipfLabelDistribution(LabelDistribution):
+    """A Zipf-like distribution ``P(label = i) ∝ i^{−exponent}`` over ``{1, …, a}``."""
+
+    def __init__(self, lifetime: int, exponent: float = 1.0) -> None:
+        super().__init__(lifetime)
+        self._exponent = check_fraction(exponent, "exponent")
+
+    @property
+    def exponent(self) -> float:
+        """The Zipf exponent (larger means more mass on early labels)."""
+        return self._exponent
+
+    def probabilities(self) -> np.ndarray:
+        i = np.arange(1, self.lifetime + 1, dtype=np.float64)
+        raw = i ** (-self._exponent)
+        return raw / raw.sum()
+
+    def __repr__(self) -> str:
+        return (
+            f"TruncatedZipfLabelDistribution(lifetime={self.lifetime}, "
+            f"exponent={self._exponent})"
+        )
+
+
+def distribution_from_name(
+    name: str, lifetime: int, **kwargs: float
+) -> LabelDistribution:
+    """Construct a label distribution from a short string name.
+
+    Supported names: ``"uniform"``, ``"geometric"``, ``"zipf"``.  Extra keyword
+    arguments are forwarded to the distribution constructor.  Used by the
+    experiment CLI so distributions can be selected from the command line.
+    """
+    registry = {
+        "uniform": UniformLabelDistribution,
+        "geometric": GeometricLabelDistribution,
+        "zipf": TruncatedZipfLabelDistribution,
+    }
+    key = name.strip().lower()
+    if key not in registry:
+        raise ValueError(
+            f"unknown distribution {name!r}; expected one of {sorted(registry)}"
+        )
+    return registry[key](lifetime, **kwargs)

@@ -1,0 +1,205 @@
+"""Common value types used across the library.
+
+The paper's objects map onto these types as follows:
+
+* a *time edge* ``(u, v, l)`` (Definition in §2.1) is :class:`TimeEdge`;
+* a *journey* (Definition 2) is :class:`Journey` — a sequence of time edges
+  with strictly increasing labels;
+* a *temporal distance* δ(u, v) (Definition 3) is an ``int`` arrival time, or
+  :data:`UNREACHABLE` when no journey exists;
+* a label assignment ``L`` (Definition 1) is represented per-edge as a sorted
+  tuple of integers inside :class:`repro.core.temporal_graph.TemporalGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import JourneyError
+
+__all__ = [
+    "UNREACHABLE",
+    "Label",
+    "TimeEdge",
+    "Journey",
+    "VertexPair",
+    "as_vertex_array",
+]
+
+#: Sentinel arrival time used for temporally unreachable vertex pairs.  The
+#: value is chosen so it can live inside integer NumPy arrays (``np.iinfo``
+#: max would overflow on additions performed by some reductions).
+UNREACHABLE: int = np.iinfo(np.int64).max // 4
+
+#: A discrete time label, an element of ``{1, …, a}``.
+Label = int
+
+#: A pair of vertex indices ``(u, v)``.
+VertexPair = tuple[int, int]
+
+
+def as_vertex_array(vertices: Iterable[int], n: int) -> np.ndarray:
+    """Normalise an iterable of vertex indices into a validated int64 array.
+
+    Parameters
+    ----------
+    vertices:
+        Iterable of integer vertex indices.
+    n:
+        Number of vertices in the graph; indices must lie in ``[0, n)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        One-dimensional ``int64`` array of the given vertices.
+
+    Raises
+    ------
+    ValueError
+        If any index falls outside ``[0, n)``.
+    """
+    arr = np.asarray(list(vertices), dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("vertices must be a one-dimensional sequence")
+    if arr.size and (arr.min() < 0 or arr.max() >= n):
+        raise ValueError(
+            f"vertex indices must lie in [0, {n - 1}], got range "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    return arr
+
+
+@dataclass(frozen=True, slots=True)
+class TimeEdge:
+    """A single availability of an edge: the triplet ``(u, v, label)``.
+
+    Attributes
+    ----------
+    u:
+        Tail vertex (the vertex the message leaves from).
+    v:
+        Head vertex (the vertex the message arrives at).
+    label:
+        The discrete time at which the edge ``(u, v)`` is available.
+    """
+
+    u: int
+    v: int
+    label: Label
+
+    def __post_init__(self) -> None:
+        if self.label < 1:
+            raise JourneyError(
+                f"time labels are positive integers, got {self.label!r}"
+            )
+
+    def reversed(self) -> "TimeEdge":
+        """Return the time edge traversed in the opposite direction."""
+        return TimeEdge(self.v, self.u, self.label)
+
+    def as_tuple(self) -> tuple[int, int, Label]:
+        """Return the plain ``(u, v, label)`` tuple."""
+        return (self.u, self.v, self.label)
+
+
+@dataclass(frozen=True, slots=True)
+class Journey:
+    """A temporal path: time edges with strictly increasing labels.
+
+    Mirrors Definition 2 of the paper.  The journey from ``u`` to ``v`` is a
+    sequence of time edges
+    ``(u, u1, l1), (u1, u2, l2), …, (u_{k−1}, v, l_k)`` with ``l_i < l_{i+1}``.
+
+    The empty journey (``edges == ()``) represents the trivial journey from a
+    vertex to itself with arrival time 0.
+    """
+
+    source: int
+    target: int
+    edges: tuple[TimeEdge, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            if self.source != self.target:
+                raise JourneyError(
+                    "an empty journey must start and end at the same vertex"
+                )
+            return
+        if self.edges[0].u != self.source:
+            raise JourneyError(
+                f"journey starts at vertex {self.edges[0].u}, expected "
+                f"{self.source}"
+            )
+        if self.edges[-1].v != self.target:
+            raise JourneyError(
+                f"journey ends at vertex {self.edges[-1].v}, expected "
+                f"{self.target}"
+            )
+        for first, second in zip(self.edges, self.edges[1:]):
+            if first.v != second.u:
+                raise JourneyError(
+                    f"consecutive time edges {first.as_tuple()} and "
+                    f"{second.as_tuple()} are not incident"
+                )
+            if not first.label < second.label:
+                raise JourneyError(
+                    "journey labels must be strictly increasing, got "
+                    f"{first.label} followed by {second.label}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self) -> Iterator[TimeEdge]:
+        return iter(self.edges)
+
+    @property
+    def arrival_time(self) -> int:
+        """Arrival time of the journey: the label of its last time edge.
+
+        The empty journey arrives at time 0 (the message is already at the
+        target before the network starts).
+        """
+        return self.edges[-1].label if self.edges else 0
+
+    @property
+    def departure_time(self) -> int:
+        """Label of the first time edge (0 for the empty journey)."""
+        return self.edges[0].label if self.edges else 0
+
+    @property
+    def hops(self) -> int:
+        """Number of edges traversed (the journey's *length*)."""
+        return len(self.edges)
+
+    def vertices(self) -> tuple[int, ...]:
+        """Return the sequence of visited vertices, source first."""
+        if not self.edges:
+            return (self.source,)
+        return (self.source,) + tuple(edge.v for edge in self.edges)
+
+    def labels(self) -> tuple[Label, ...]:
+        """Return the sequence of labels used, in traversal order."""
+        return tuple(edge.label for edge in self.edges)
+
+    @classmethod
+    def from_sequence(
+        cls, hops: Sequence[tuple[int, int, Label]]
+    ) -> "Journey":
+        """Build a journey from ``(u, v, label)`` triples.
+
+        Raises
+        ------
+        JourneyError
+            If the sequence is empty or does not form a valid journey.
+        """
+        if not hops:
+            raise JourneyError(
+                "from_sequence requires at least one hop; use "
+                "Journey(source, source) for the trivial journey"
+            )
+        edges = tuple(TimeEdge(u, v, label) for u, v, label in hops)
+        return cls(source=edges[0].u, target=edges[-1].v, edges=edges)

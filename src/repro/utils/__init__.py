@@ -1,0 +1,26 @@
+"""Shared utilities: validation, seeding, timing and logging helpers."""
+
+from .validation import (
+    check_fraction,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_square_matrix,
+)
+from .seeding import SeedLike, normalize_rng, spawn_rngs
+from .timing import Timer, format_duration
+from .logging import get_logger
+
+__all__ = [
+    "check_fraction",
+    "check_non_negative_int",
+    "check_positive_int",
+    "check_probability",
+    "check_square_matrix",
+    "SeedLike",
+    "normalize_rng",
+    "spawn_rngs",
+    "Timer",
+    "format_duration",
+    "get_logger",
+]

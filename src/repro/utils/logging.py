@@ -1,0 +1,55 @@
+"""Library logging configuration.
+
+The library never configures the root logger; it only attaches a
+:class:`logging.NullHandler` to its own namespace so applications embedding it
+stay in control of log output.  :func:`get_logger` is the single entry point
+used by library modules.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the library logger, optionally for a sub-namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted sub-namespace (e.g. ``"montecarlo.runner"``).  ``None`` returns
+        the package-level logger.
+    """
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(f"{_ROOT_NAME}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a simple console handler to the library logger.
+
+    Intended for the example scripts and the experiment CLI, not for library
+    code.  Calling it repeatedly does not duplicate handlers.
+    """
+    logger = get_logger()
+    has_stream = any(
+        isinstance(handler, logging.StreamHandler)
+        and not isinstance(handler, logging.NullHandler)
+        for handler in logger.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,67 @@
+"""Random-number-generator plumbing.
+
+Every stochastic routine in the library accepts a ``seed`` argument that may
+be ``None`` (fresh entropy), an integer, a :class:`numpy.random.SeedSequence`
+or an existing :class:`numpy.random.Generator`.  :func:`normalize_rng` turns
+any of these into a ``Generator`` so that downstream code only ever deals with
+one type, and :func:`spawn_rngs` derives independent child generators for
+parallel / repeated trials (the Monte-Carlo runner uses this to make each
+trial reproducible in isolation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "normalize_rng", "spawn_rngs", "derive_seed_sequence"]
+
+SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
+
+
+def normalize_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed type.
+
+    Passing an existing generator returns it unchanged (no copy), so stateful
+    sequential use keeps advancing the same stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Return a :class:`numpy.random.SeedSequence` for the given seed.
+
+    Generators cannot be converted back into seed sequences; in that case a
+    fresh sequence is derived from the generator's own bit stream so that
+    spawning from a generator is still deterministic given the generator
+    state.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        entropy = int(seed.integers(0, 2**63 - 1))
+        return np.random.SeedSequence(entropy)
+    return np.random.SeedSequence(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    The children are produced through ``SeedSequence.spawn`` which guarantees
+    independence between the streams regardless of how many children are
+    requested.
+
+    Parameters
+    ----------
+    seed:
+        Any accepted seed type (see :data:`SeedLike`).
+    count:
+        Number of child generators to create.  Must be non-negative.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    sequence = derive_seed_sequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

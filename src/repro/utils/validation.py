@@ -1,0 +1,79 @@
+"""Argument validation helpers.
+
+These helpers raise :class:`ValueError`/:class:`TypeError` with consistent
+messages so that the public API surfaces clear errors instead of cryptic NumPy
+failures deep inside vectorised kernels.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_probability",
+    "check_fraction",
+    "check_square_matrix",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 1`` and return it as ``int``.
+
+    Parameters
+    ----------
+    value:
+        Value supplied by the caller.
+    name:
+        Parameter name used in the error message.
+    """
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 0`` and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` is a probability in the closed interval [0, 1]."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_fraction(value: Any, name: str) -> float:
+    """Validate that ``value`` is a strictly positive finite real number."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_square_matrix(matrix: Any, name: str) -> np.ndarray:
+    """Validate that ``matrix`` is a square two-dimensional array."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(
+            f"{name} must be a square 2-D array, got shape {arr.shape!r}"
+        )
+    return arr

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import assign_deterministic_labels, normalized_urtn
+from repro.core.temporal_graph import TemporalGraph
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator shared by randomised tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_path() -> "TemporalGraph":
+    """Path 0-1-2-3 with labels that allow 0→3 but not 3→0."""
+    graph = path_graph(4)
+    return assign_deterministic_labels(
+        graph, {(0, 1): [1], (1, 2): [3], (2, 3): [5]}, lifetime=6
+    )
+
+
+@pytest.fixture
+def two_label_star() -> "TemporalGraph":
+    """Star on 5 vertices with labels {1, 2} per edge (the OPT assignment)."""
+    graph = star_graph(5)
+    labels = {(0, leaf): [1, 2] for leaf in range(1, 5)}
+    return assign_deterministic_labels(graph, labels, lifetime=5)
+
+
+@pytest.fixture
+def random_clique_instance() -> "TemporalGraph":
+    """A fixed normalized U-RT clique instance (directed, n = 24)."""
+    graph = complete_graph(24, directed=True)
+    return normalized_urtn(graph, seed=777)

@@ -1,0 +1,82 @@
+"""Tests for repro.randomness.chernoff."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.randomness.chernoff import (
+    binomial_chernoff_lower_tail,
+    binomial_chernoff_two_sided,
+    binomial_chernoff_upper_tail,
+    union_bound,
+)
+
+
+class TestChernoffBounds:
+    def test_bounds_are_probabilities(self):
+        for bound in (
+            binomial_chernoff_lower_tail(100, 0.3, 0.5),
+            binomial_chernoff_upper_tail(100, 0.3, 0.5),
+            binomial_chernoff_two_sided(100, 0.3, 0.5),
+        ):
+            assert 0.0 <= bound <= 1.0
+
+    def test_lower_tail_dominates_true_probability(self):
+        n, p, beta = 200, 0.4, 0.5
+        bound = binomial_chernoff_lower_tail(n, p, beta)
+        true = stats.binom.cdf(int((1 - beta) * n * p), n, p)
+        assert bound >= true
+
+    def test_upper_tail_dominates_true_probability(self):
+        n, p, beta = 200, 0.4, 0.5
+        bound = binomial_chernoff_upper_tail(n, p, beta)
+        true = stats.binom.sf(int(np.ceil((1 + beta) * n * p)) - 1, n, p)
+        assert bound >= true
+
+    def test_bound_shrinks_with_more_trials(self):
+        small = binomial_chernoff_lower_tail(50, 0.3, 0.5)
+        large = binomial_chernoff_lower_tail(500, 0.3, 0.5)
+        assert large < small
+
+    def test_two_sided_is_sum_of_tails(self):
+        n, p, beta = 80, 0.2, 0.4
+        expected = binomial_chernoff_lower_tail(n, p, beta) + binomial_chernoff_upper_tail(
+            n, p, beta
+        )
+        assert binomial_chernoff_two_sided(n, p, beta) == pytest.approx(min(1.0, expected))
+
+    def test_paper_lemma1_constants(self):
+        # Lemma 1: with c1 = 33 and beta = 1/2 the failure probability is at
+        # most n^{-4}; check the Chernoff expression actually reaches that level.
+        n = 1000
+        c1 = 33
+        p1 = c1 * np.log(n) / n
+        bound = binomial_chernoff_lower_tail(n - 1, p1, 0.5)
+        # exp(-(1/8)·c1·log n · (n-1)/n) ≈ n^{-c1/8}; comfortably below n^{-4}
+        assert bound < n ** (-4.0) * 10
+
+    def test_beta_out_of_range(self):
+        with pytest.raises(ValueError):
+            binomial_chernoff_lower_tail(10, 0.5, 1.5)
+        with pytest.raises(ValueError):
+            binomial_chernoff_upper_tail(10, 0.5, 0.0)
+
+
+class TestUnionBound:
+    def test_scalar_arguments(self):
+        assert union_bound(0.1, 0.2, 0.3) == pytest.approx(0.6)
+
+    def test_iterable_argument(self):
+        assert union_bound([0.1, 0.2], 0.05) == pytest.approx(0.35)
+
+    def test_clipped_at_one(self):
+        assert union_bound(0.7, 0.8) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            union_bound(-0.1)
+
+    def test_empty_is_zero(self):
+        assert union_bound() == 0.0

@@ -1,0 +1,61 @@
+"""Tests for repro.graphs.conversion (networkx round trips)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.conversion import from_networkx, to_networkx
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.static_graph import StaticGraph
+
+
+def test_to_networkx_preserves_structure():
+    graph = star_graph(5)
+    nx_graph = to_networkx(graph)
+    assert nx_graph.number_of_nodes() == 5
+    assert nx_graph.number_of_edges() == 4
+    assert not nx_graph.is_directed()
+
+
+def test_to_networkx_directed():
+    graph = complete_graph(3, directed=True)
+    nx_graph = to_networkx(graph)
+    assert nx_graph.is_directed()
+    assert nx_graph.number_of_edges() == 6
+
+
+def test_roundtrip_undirected():
+    graph = path_graph(6)
+    assert from_networkx(to_networkx(graph)) == graph
+
+
+def test_roundtrip_directed():
+    graph = StaticGraph(4, [(0, 1), (1, 2), (3, 0)], directed=True)
+    assert from_networkx(to_networkx(graph)) == graph
+
+
+def test_from_networkx_relabels_arbitrary_nodes():
+    nx_graph = nx.Graph()
+    nx_graph.add_edges_from([("c", "a"), ("a", "b")])
+    graph = from_networkx(nx_graph)
+    assert graph.n == 3
+    assert graph.m == 2
+
+
+def test_from_networkx_drops_self_loops():
+    nx_graph = nx.Graph()
+    nx_graph.add_edges_from([(0, 0), (0, 1)])
+    graph = from_networkx(nx_graph)
+    assert graph.m == 1
+
+
+def test_from_networkx_rejects_multigraph():
+    with pytest.raises(GraphError):
+        from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+
+def test_name_propagates_through_roundtrip():
+    graph = star_graph(4)
+    assert from_networkx(to_networkx(graph)).name == graph.name

@@ -1,0 +1,107 @@
+"""Tests for repro.core.dissemination: flooding and the phone-call baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dissemination import flood_broadcast, push_phone_call_broadcast
+from repro.core.journeys import earliest_arrival_times
+from repro.core.labeling import assign_deterministic_labels, normalized_urtn
+from repro.core.temporal_graph import TemporalGraph
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.static_graph import StaticGraph
+from repro.types import UNREACHABLE
+
+
+class TestFloodBroadcast:
+    def test_arrival_times_match_foremost_journeys(self, random_clique_instance):
+        result = flood_broadcast(random_clique_instance, 0)
+        expected = earliest_arrival_times(random_clique_instance, 0)
+        assert np.array_equal(result.arrival_times, expected)
+
+    def test_broadcast_time_is_max_arrival(self, random_clique_instance):
+        result = flood_broadcast(random_clique_instance, 3)
+        assert result.completed
+        assert result.broadcast_time == int(result.arrival_times.max())
+
+    def test_incomplete_broadcast(self, small_path):
+        result = flood_broadcast(small_path, 3)
+        assert not result.completed
+        assert result.broadcast_time == UNREACHABLE
+        assert result.informed_count == 2
+        assert result.informed_fraction == pytest.approx(0.5)
+
+    def test_transmission_count_on_deterministic_instance(self):
+        graph = star_graph(4)
+        network = assign_deterministic_labels(
+            graph, {(0, 1): [1], (0, 2): [2], (0, 3): [3]}, lifetime=4
+        )
+        result = flood_broadcast(network, 1)
+        # vertex 1 informed at 0, sends on (1,0,1); centre informed at 1,
+        # sends on (0,2,2) and (0,3,3); vertices 2 and 3 have no later arcs.
+        assert result.completed
+        assert result.num_transmissions == 3
+        assert result.broadcast_time == 3
+
+    def test_singleton_graph(self):
+        network = TemporalGraph(StaticGraph(1), [])
+        result = flood_broadcast(network, 0)
+        assert result.completed
+        assert result.broadcast_time == 0
+        assert result.num_transmissions == 0
+
+    def test_clique_broadcast_is_fast(self):
+        graph = complete_graph(128, directed=True)
+        network = normalized_urtn(graph, seed=11)
+        result = flood_broadcast(network, 0)
+        assert result.completed
+        # §3.5: logarithmic broadcast; even with slack, far below n/2.
+        assert result.broadcast_time < 128 / 4
+        assert result.broadcast_time >= 2
+
+
+class TestPhoneCallBroadcast:
+    def test_everyone_informed(self):
+        result = push_phone_call_broadcast(64, seed=0)
+        assert result.completed
+        assert result.informed_count == 64
+
+    def test_round_count_is_logarithmic(self):
+        rounds = [
+            push_phone_call_broadcast(256, seed=seed).broadcast_time for seed in range(5)
+        ]
+        mean_rounds = float(np.mean(rounds))
+        prediction = math.log2(256) + math.log(256)
+        assert mean_rounds < 2.5 * prediction
+        assert mean_rounds >= math.log2(256) - 1
+
+    def test_source_informed_at_round_zero(self):
+        result = push_phone_call_broadcast(32, source=5, seed=1)
+        assert result.arrival_times[5] == 0
+
+    def test_transmissions_lower_bound(self):
+        result = push_phone_call_broadcast(64, seed=2)
+        # at least one transmission per vertex informed after the source
+        assert result.num_transmissions >= 63
+
+    def test_single_vertex(self):
+        result = push_phone_call_broadcast(1, seed=0)
+        assert result.completed
+        assert result.broadcast_time == 0
+
+    def test_max_rounds_cap_respected(self):
+        result = push_phone_call_broadcast(512, seed=3, max_rounds=1)
+        assert not result.completed
+        assert result.informed_count <= 3
+
+    def test_invalid_source(self):
+        with pytest.raises(ValueError):
+            push_phone_call_broadcast(8, source=9)
+
+    def test_reproducibility(self):
+        a = push_phone_call_broadcast(64, seed=9)
+        b = push_phone_call_broadcast(64, seed=9)
+        assert np.array_equal(a.arrival_times, b.arrival_times)

@@ -1,0 +1,115 @@
+"""Tests for repro.randomness.distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.randomness.distributions import (
+    GeometricLabelDistribution,
+    TruncatedZipfLabelDistribution,
+    UniformLabelDistribution,
+    distribution_from_name,
+)
+
+
+@pytest.mark.parametrize(
+    "dist",
+    [
+        UniformLabelDistribution(10),
+        GeometricLabelDistribution(10, q=0.3),
+        TruncatedZipfLabelDistribution(10, exponent=1.5),
+    ],
+    ids=["uniform", "geometric", "zipf"],
+)
+class TestDistributionContract:
+    def test_probabilities_sum_to_one(self, dist):
+        assert dist.probabilities().sum() == pytest.approx(1.0)
+
+    def test_probabilities_length_matches_lifetime(self, dist):
+        assert dist.probabilities().size == dist.lifetime
+
+    def test_samples_within_support(self, dist):
+        samples = dist.sample(500, seed=0)
+        assert samples.min() >= 1
+        assert samples.max() <= dist.lifetime
+
+    def test_sampling_reproducible(self, dist):
+        a = dist.sample(50, seed=3)
+        b = dist.sample(50, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_cdf_is_monotone_and_ends_at_one(self, dist):
+        cdf = dist.cdf()
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_mean_matches_pmf(self, dist):
+        labels = np.arange(1, dist.lifetime + 1)
+        assert dist.mean() == pytest.approx(float(labels @ dist.probabilities()))
+
+    def test_interval_probability(self, dist):
+        total = dist.probability_in_interval(0, dist.lifetime)
+        assert total == pytest.approx(1.0)
+        half = dist.probability_in_interval(0, dist.lifetime / 2)
+        assert 0.0 <= half <= 1.0
+
+
+class TestUniform:
+    def test_uniform_pmf_is_flat(self):
+        pmf = UniformLabelDistribution(8).probabilities()
+        assert np.allclose(pmf, 1 / 8)
+
+    def test_uniform_mean(self):
+        assert UniformLabelDistribution(9).mean() == pytest.approx(5.0)
+
+    def test_sample_shape(self):
+        samples = UniformLabelDistribution(5).sample((4, 6), seed=1)
+        assert samples.shape == (4, 6)
+
+    def test_empirical_frequencies_are_flat(self):
+        dist = UniformLabelDistribution(4)
+        samples = dist.sample(8000, seed=0)
+        counts = np.bincount(samples, minlength=5)[1:]
+        assert np.allclose(counts / 8000, 0.25, atol=0.03)
+
+
+class TestGeometric:
+    def test_front_loaded(self):
+        pmf = GeometricLabelDistribution(20, q=0.5).probabilities()
+        assert pmf[0] > pmf[5] > pmf[-1]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            GeometricLabelDistribution(10, q=1.5)
+        with pytest.raises(ValueError):
+            GeometricLabelDistribution(10, q=0.0)
+
+
+class TestZipf:
+    def test_heavier_exponent_front_loads_more(self):
+        light = TruncatedZipfLabelDistribution(50, exponent=0.5).probabilities()
+        heavy = TruncatedZipfLabelDistribution(50, exponent=2.0).probabilities()
+        assert heavy[0] > light[0]
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            TruncatedZipfLabelDistribution(10, exponent=0.0)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(distribution_from_name("uniform", 5), UniformLabelDistribution)
+        assert isinstance(
+            distribution_from_name("geometric", 5, q=0.2), GeometricLabelDistribution
+        )
+        assert isinstance(
+            distribution_from_name("ZIPF", 5, exponent=1.2), TruncatedZipfLabelDistribution
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            distribution_from_name("poisson", 5)
+
+    def test_repr_mentions_lifetime(self):
+        assert "lifetime=7" in repr(UniformLabelDistribution(7))

@@ -1,0 +1,39 @@
+"""Integration tests: every example script runs end-to-end at reduced scale."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(names) >= 4, "the deliverable requires at least three domain examples plus quickstart"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_EXAMPLE_QUICK", "1")
+    if script.name == "quickstart.py":
+        # quickstart reads the size from argv; keep it small for the test run
+        monkeypatch.setattr(sys, "argv", [str(script), "48"])
+    else:
+        monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_reports_logarithmic_diameter(monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py", "64"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "temporal_diameter" in output
+    assert "Foremost journey" in output

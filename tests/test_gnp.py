@@ -1,0 +1,146 @@
+"""Tests for repro.erdosrenyi.gnp and thresholds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.erdosrenyi.gnp import (
+    UnionFind,
+    connectivity_probability,
+    giant_component_fraction,
+    is_gnp_connected,
+    sample_gnp_edges,
+)
+from repro.erdosrenyi.thresholds import connectivity_threshold_curve, critical_probability
+
+
+class TestUnionFind:
+    def test_initially_all_separate(self):
+        forest = UnionFind(5)
+        assert forest.num_components == 5
+        assert not forest.connected(0, 1)
+
+    def test_union_reduces_components(self):
+        forest = UnionFind(4)
+        assert forest.union(0, 1)
+        assert forest.num_components == 3
+        assert forest.connected(0, 1)
+
+    def test_union_of_same_component_is_noop(self):
+        forest = UnionFind(4)
+        forest.union(0, 1)
+        assert not forest.union(1, 0)
+        assert forest.num_components == 3
+
+    def test_transitive_connectivity(self):
+        forest = UnionFind(5)
+        forest.union(0, 1)
+        forest.union(1, 2)
+        forest.union(3, 4)
+        assert forest.connected(0, 2)
+        assert not forest.connected(0, 3)
+
+    def test_component_sizes(self):
+        forest = UnionFind(6)
+        forest.union(0, 1)
+        forest.union(1, 2)
+        forest.union(3, 4)
+        assert sorted(forest.component_sizes().tolist()) == [1, 2, 3]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            UnionFind(0)
+
+
+class TestSampling:
+    def test_p_zero_has_no_edges(self):
+        u, v = sample_gnp_edges(20, 0.0, seed=0)
+        assert u.size == 0 and v.size == 0
+
+    def test_p_one_is_complete(self):
+        u, v = sample_gnp_edges(10, 1.0, seed=0)
+        assert u.size == 45
+
+    def test_edges_are_valid_pairs(self):
+        u, v = sample_gnp_edges(30, 0.3, seed=1)
+        assert np.all(u < v)
+        assert u.max() < 30
+
+    def test_reproducible(self):
+        a = sample_gnp_edges(25, 0.2, seed=9)
+        b = sample_gnp_edges(25, 0.2, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_edge_count_concentrates(self):
+        n, p = 100, 0.1
+        u, _ = sample_gnp_edges(n, p, seed=2)
+        expected = p * n * (n - 1) / 2
+        assert abs(u.size - expected) < 5 * math.sqrt(expected)
+
+    def test_single_vertex(self):
+        u, v = sample_gnp_edges(1, 0.5, seed=0)
+        assert u.size == 0
+
+
+class TestConnectivity:
+    def test_complete_graph_connected(self):
+        u, v = sample_gnp_edges(12, 1.0, seed=0)
+        assert is_gnp_connected(12, u, v)
+
+    def test_empty_graph_disconnected(self):
+        u, v = sample_gnp_edges(12, 0.0, seed=0)
+        assert not is_gnp_connected(12, u, v)
+
+    def test_single_vertex_connected(self):
+        assert is_gnp_connected(1, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    def test_too_few_edges_short_circuit(self):
+        u = np.asarray([0], dtype=np.int64)
+        v = np.asarray([1], dtype=np.int64)
+        assert not is_gnp_connected(5, u, v)
+
+    def test_giant_component_fraction_bounds(self):
+        u, v = sample_gnp_edges(50, 0.05, seed=3)
+        fraction = giant_component_fraction(50, u, v)
+        assert 1 / 50 <= fraction <= 1.0
+
+    def test_giant_fraction_of_complete_graph_is_one(self):
+        u, v = sample_gnp_edges(20, 1.0, seed=0)
+        assert giant_component_fraction(20, u, v) == 1.0
+
+
+class TestThreshold:
+    def test_critical_probability_formula(self):
+        assert critical_probability(100) == pytest.approx(math.log(100) / 100)
+        assert critical_probability(1) == 0.0
+
+    def test_connectivity_probability_monotone_in_p(self):
+        n = 80
+        low = connectivity_probability(n, 0.3 * critical_probability(n), trials=30, seed=0)
+        high = connectivity_probability(n, 3.0 * critical_probability(n), trials=30, seed=1)
+        assert high > low
+
+    def test_subcritical_mostly_disconnected(self):
+        n = 128
+        probability = connectivity_probability(
+            n, 0.3 * critical_probability(n), trials=30, seed=2
+        )
+        assert probability <= 0.2
+
+    def test_supercritical_mostly_connected(self):
+        n = 128
+        probability = connectivity_probability(
+            n, 3.0 * critical_probability(n), trials=30, seed=3
+        )
+        assert probability >= 0.8
+
+    def test_threshold_curve_structure(self):
+        curve = connectivity_threshold_curve(
+            64, multipliers=(0.5, 1.0, 2.0), trials=10, seed=4
+        )
+        assert [row["multiplier"] for row in curve] == [0.5, 1.0, 2.0]
+        assert all(0.0 <= row["probability"] <= 1.0 for row in curve)
+        assert all(row["p"] <= 1.0 for row in curve)

@@ -1,0 +1,200 @@
+"""Tests for repro.core.journey_variants: shortest and fastest journeys."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.journey_variants import fastest_journey, shortest_journey
+from repro.core.journeys import earliest_arrival_times, foremost_journey
+from repro.core.labeling import assign_deterministic_labels, normalized_urtn
+from repro.core.temporal_graph import TemporalGraph
+from repro.exceptions import UnreachableVertexError
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.static_graph import StaticGraph
+from repro.types import UNREACHABLE
+
+
+@pytest.fixture
+def shortcut_network() -> TemporalGraph:
+    """A 4-vertex graph where the foremost journey 0→3 is long but a later direct hop exists.
+
+    Edges: path 0-1-2-3 with labels 1, 2, 3 (foremost arrival 3, 3 hops) and a
+    direct edge 0-3 with label 5 (1 hop, later arrival, duration 1).
+    """
+    graph = StaticGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    return assign_deterministic_labels(
+        graph, {(0, 1): [1], (1, 2): [2], (2, 3): [3], (0, 3): [5]}, lifetime=6
+    )
+
+
+class TestShortestJourney:
+    def test_prefers_fewest_hops(self, shortcut_network):
+        journey = shortest_journey(shortcut_network, 0, 3)
+        assert journey.hops == 1
+        assert journey.labels() == (5,)
+
+    def test_foremost_can_be_longer_in_hops(self, shortcut_network):
+        foremost = foremost_journey(shortcut_network, 0, 3)
+        shortest = shortest_journey(shortcut_network, 0, 3)
+        assert foremost.arrival_time < shortest.arrival_time
+        assert shortest.hops < foremost.hops
+
+    def test_trivial_journey(self, shortcut_network):
+        assert shortest_journey(shortcut_network, 2, 2).hops == 0
+
+    def test_unreachable_raises(self, small_path):
+        with pytest.raises(UnreachableVertexError):
+            shortest_journey(small_path, 3, 0)
+
+    def test_valid_time_edges(self, random_clique_instance):
+        journey = shortest_journey(random_clique_instance, 0, 17)
+        for edge in journey:
+            assert random_clique_instance.has_time_edge(edge.u, edge.v, edge.label)
+
+    def test_single_hop_on_clique(self, random_clique_instance):
+        # every ordered pair of the clique has a direct arc, so the shortest
+        # journey is always one hop
+        for target in (1, 5, 20):
+            assert shortest_journey(random_clique_instance, 0, target).hops == 1
+
+    def test_multi_hop_path(self, two_label_star):
+        journey = shortest_journey(two_label_star, 1, 4)
+        assert journey.hops == 2
+
+    def test_invalid_vertex(self, shortcut_network):
+        with pytest.raises(ValueError):
+            shortest_journey(shortcut_network, 0, 99)
+
+
+class TestFastestJourney:
+    def test_prefers_minimum_duration(self, shortcut_network):
+        result = fastest_journey(shortcut_network, 0, 3)
+        # the direct hop at time 5 has duration 1; the path 1-2-3 has duration 3
+        assert result.duration == 1
+        assert result.journey.hops == 1
+        assert result.departure == 5 and result.arrival == 5
+
+    def test_duration_never_smaller_than_hops(self, random_clique_instance):
+        for target in (3, 9, 21):
+            result = fastest_journey(random_clique_instance, 0, target)
+            assert result.duration >= result.journey.hops
+
+    def test_duration_at_most_foremost_arrival(self, random_clique_instance):
+        for target in (3, 9, 21):
+            result = fastest_journey(random_clique_instance, 0, target)
+            foremost = foremost_journey(random_clique_instance, 0, target)
+            assert result.duration <= foremost.arrival_time
+
+    def test_trivial_journey(self, shortcut_network):
+        result = fastest_journey(shortcut_network, 1, 1)
+        assert result.duration == 0
+        assert result.journey.hops == 0
+
+    def test_unreachable_raises(self, small_path):
+        with pytest.raises(UnreachableVertexError):
+            fastest_journey(small_path, 3, 0)
+
+    def test_star_fastest_duration(self, two_label_star):
+        result = fastest_journey(two_label_star, 1, 2)
+        # hop at label 1 then label 2: duration = 2
+        assert result.duration == 2
+
+    def test_journey_edges_exist(self, random_clique_instance):
+        result = fastest_journey(random_clique_instance, 4, 11)
+        for edge in result.journey:
+            assert random_clique_instance.has_time_edge(edge.u, edge.v, edge.label)
+
+
+@st.composite
+def small_networks(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    flags = draw(st.lists(st.booleans(), min_size=len(possible), max_size=len(possible)))
+    edges = [edge for edge, keep in zip(possible, flags) if keep]
+    graph = StaticGraph(n, edges)
+    labels = [
+        sorted(set(draw(st.lists(st.integers(min_value=1, max_value=6), min_size=0, max_size=2))))
+        for _ in range(graph.m)
+    ]
+    return TemporalGraph(graph, labels, lifetime=6)
+
+
+def _brute_force_min_hops(network, source, target):
+    if source == target:
+        return 0
+    best = None
+    others = [v for v in range(network.n) if v not in (source, target)]
+    for length in range(0, len(others) + 1):
+        for middle in permutations(others, length):
+            path = (source, *middle, target)
+            time = 0
+            ok = True
+            for u, v in zip(path, path[1:]):
+                try:
+                    labels = network.labels_of(u, v)
+                except KeyError:
+                    ok = False
+                    break
+                usable = [l for l in labels if l > time]
+                if not usable:
+                    ok = False
+                    break
+                time = min(usable)
+            if ok:
+                hops = len(path) - 1
+                best = hops if best is None else min(best, hops)
+        if best is not None:
+            # paths are enumerated by increasing length, so the first hit is minimal
+            return best
+    return best
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_networks())
+def test_shortest_journey_matches_brute_force(network):
+    arrival = earliest_arrival_times(network, 0)
+    for target in range(1, network.n):
+        if arrival[target] >= UNREACHABLE:
+            with pytest.raises(UnreachableVertexError):
+                shortest_journey(network, 0, target)
+            continue
+        journey = shortest_journey(network, 0, target)
+        assert journey.hops == _brute_force_min_hops(network, 0, target)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_networks())
+def test_fastest_journey_dominates_any_single_departure(network):
+    arrival = earliest_arrival_times(network, 0)
+    for target in range(1, network.n):
+        if arrival[target] >= UNREACHABLE:
+            continue
+        result = fastest_journey(network, 0, target)
+        # the fastest duration is at most the foremost journey's duration
+        foremost = foremost_journey(network, 0, target)
+        foremost_duration = foremost.arrival_time - foremost.departure_time + 1
+        assert result.duration <= foremost_duration
+        # and the reported journey is internally consistent
+        assert result.arrival == result.journey.arrival_time
+        assert result.departure == result.journey.departure_time
+
+
+def test_variants_agree_on_single_edge():
+    graph = path_graph(2)
+    network = assign_deterministic_labels(graph, {(0, 1): [4]}, lifetime=5)
+    assert shortest_journey(network, 0, 1).labels() == (4,)
+    fastest = fastest_journey(network, 0, 1)
+    assert fastest.duration == 1
+    assert foremost_journey(network, 0, 1).arrival_time == 4
+
+
+def test_clique_fastest_is_often_direct():
+    network = normalized_urtn(complete_graph(16, directed=True), seed=2)
+    result = fastest_journey(network, 0, 1)
+    # the direct arc gives duration 1; a fastest journey can never do better
+    assert result.duration >= 1
+    direct_label = network.labels_of(0, 1)[0]
+    assert result.duration <= max(1, direct_label)

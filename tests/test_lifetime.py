@@ -1,0 +1,86 @@
+"""Tests for repro.core.lifetime (Theorem 5 helpers)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.distances import temporal_diameter
+from repro.core.labeling import assign_deterministic_labels, uniform_random_labels
+from repro.core.lifetime import (
+    erdos_renyi_equivalent_p,
+    prefix_connectivity_time,
+    temporal_diameter_lower_bound_theorem5,
+)
+from repro.core.temporal_graph import TemporalGraph
+from repro.graphs.generators import complete_graph, path_graph
+from repro.graphs.static_graph import StaticGraph
+from repro.types import UNREACHABLE
+
+
+class TestPrefixConnectivityTime:
+    def test_deterministic_path(self):
+        graph = path_graph(4)
+        network = assign_deterministic_labels(
+            graph, {(0, 1): [5], (1, 2): [2], (2, 3): [9]}, lifetime=10
+        )
+        assert prefix_connectivity_time(network) == 9
+
+    def test_unlabelled_edges_never_connect(self):
+        graph = path_graph(4)
+        network = TemporalGraph(graph, [[1], [], [2]], lifetime=4)
+        assert prefix_connectivity_time(network) == UNREACHABLE
+
+    def test_singleton(self):
+        network = TemporalGraph(StaticGraph(1), [])
+        assert prefix_connectivity_time(network) == 0
+
+    def test_is_lower_bound_for_temporal_diameter(self):
+        graph = complete_graph(20, directed=True)
+        for seed in range(3):
+            network = uniform_random_labels(graph, lifetime=60, seed=seed)
+            prefix = prefix_connectivity_time(network)
+            assert prefix <= temporal_diameter(network)
+
+    def test_grows_with_lifetime(self):
+        graph = complete_graph(24, directed=True)
+        short = uniform_random_labels(graph, lifetime=24, seed=1)
+        long = uniform_random_labels(graph, lifetime=24 * 8, seed=1)
+        assert prefix_connectivity_time(long) > prefix_connectivity_time(short)
+
+
+class TestTheorem5Bound:
+    def test_normalized_case_is_log_n(self):
+        assert temporal_diameter_lower_bound_theorem5(100, 100) == pytest.approx(math.log(100))
+
+    def test_scaling_with_lifetime(self):
+        n = 64
+        assert temporal_diameter_lower_bound_theorem5(n, 4 * n) == pytest.approx(4 * math.log(n))
+
+    def test_sub_normalized_lifetime_clamped(self):
+        n = 64
+        assert temporal_diameter_lower_bound_theorem5(n, n // 2) == pytest.approx(math.log(n))
+
+    def test_measured_diameter_scales_with_lifetime(self):
+        n = 32
+        graph = complete_graph(n, directed=True)
+        short_diameters = []
+        long_diameters = []
+        for seed in range(3):
+            short_diameters.append(
+                temporal_diameter(uniform_random_labels(graph, lifetime=n, seed=seed))
+            )
+            long_diameters.append(
+                temporal_diameter(uniform_random_labels(graph, lifetime=8 * n, seed=seed))
+            )
+        assert sum(long_diameters) > 2 * sum(short_diameters)
+
+
+class TestEquivalentP:
+    def test_formula(self):
+        assert erdos_renyi_equivalent_p(10, 100) == pytest.approx(0.1)
+
+    def test_k_above_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_equivalent_p(11, 10)

@@ -1,0 +1,69 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists {name} but it is missing"
+
+
+def test_quickstart_snippet_from_docstring():
+    clique = repro.complete_graph(32, directed=True)
+    network = repro.normalized_urtn(clique, seed=0)
+    assert repro.temporal_diameter(network) <= 32
+    assert repro.is_temporally_connected(network)
+
+
+def test_subpackages_importable():
+    for module in (
+        "repro.core",
+        "repro.graphs",
+        "repro.randomness",
+        "repro.erdosrenyi",
+        "repro.montecarlo",
+        "repro.analysis",
+        "repro.io",
+        "repro.experiments",
+        "repro.utils",
+    ):
+        assert importlib.import_module(module) is not None
+
+
+def test_subpackage_all_exports_resolve():
+    for module_name in (
+        "repro.core",
+        "repro.graphs",
+        "repro.randomness",
+        "repro.erdosrenyi",
+        "repro.montecarlo",
+        "repro.analysis",
+        "repro.io",
+        "repro.experiments",
+    ):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_exceptions_reachable_from_top_level():
+    with pytest.raises(repro.ReproError):
+        raise repro.LabelingError("bad labels")
+
+
+def test_star_por_helpers_consistent():
+    n = 40
+    star = repro.star_graph(n)
+    por = repro.price_of_randomness(star, 8, opt=repro.opt_labels_star(n))
+    assert por == pytest.approx(4.0)
+    assert repro.por_upper_bound_theorem8(n, star.m, 2) > por

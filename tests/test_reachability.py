@@ -1,0 +1,91 @@
+"""Tests for repro.core.reachability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import assign_deterministic_labels, normalized_urtn, uniform_random_labels
+from repro.core.reachability import (
+    is_temporally_connected,
+    preserves_reachability,
+    reachability_matrix,
+    reachable_fraction,
+    reachable_set,
+)
+from repro.core.temporal_graph import TemporalGraph
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.static_graph import StaticGraph
+
+
+class TestReachabilityMatrix:
+    def test_diagonal_true(self, random_clique_instance):
+        matrix = reachability_matrix(random_clique_instance)
+        assert np.all(np.diag(matrix))
+
+    def test_clique_fully_reachable(self, random_clique_instance):
+        assert reachability_matrix(random_clique_instance).all()
+
+    def test_path_with_decreasing_labels(self, small_path):
+        matrix = reachability_matrix(small_path)
+        assert matrix[0, 3]
+        assert not matrix[3, 0]
+
+    def test_reachable_set(self, small_path):
+        assert reachable_set(small_path, 0).tolist() == [0, 1, 2, 3]
+        assert reachable_set(small_path, 3).tolist() == [2, 3]
+
+
+class TestReachableFraction:
+    def test_full_reachability_gives_one(self, random_clique_instance):
+        assert reachable_fraction(random_clique_instance) == 1.0
+
+    def test_partial_reachability(self, small_path):
+        fraction = reachable_fraction(small_path)
+        assert 0.0 < fraction < 1.0
+
+    def test_singleton_graph(self):
+        network = TemporalGraph(StaticGraph(1), [])
+        assert reachable_fraction(network) == 1.0
+
+    def test_no_labels_fraction_zero(self):
+        network = TemporalGraph(path_graph(3), [[], []])
+        assert reachable_fraction(network) == 0.0
+
+
+class TestTreachPredicate:
+    def test_clique_single_label_preserves_reachability(self):
+        # The clique is the only graph for which one label per edge suffices.
+        graph = complete_graph(10, directed=True)
+        network = normalized_urtn(graph, seed=1)
+        assert preserves_reachability(network)
+        assert is_temporally_connected(network)
+
+    def test_star_single_label_fails(self):
+        graph = star_graph(6)
+        network = uniform_random_labels(graph, labels_per_edge=1, seed=0)
+        assert not preserves_reachability(network)
+
+    def test_star_with_two_increasing_labels_succeeds(self, two_label_star):
+        assert preserves_reachability(two_label_star)
+        assert is_temporally_connected(two_label_star)
+
+    def test_disconnected_graph_ignores_missing_static_paths(self):
+        # Two components, each internally temporally reachable: Treach holds
+        # even though the graph is not temporally connected as a whole.
+        graph = StaticGraph(4, [(0, 1), (2, 3)])
+        network = assign_deterministic_labels(
+            graph, {(0, 1): [1, 2], (2, 3): [1, 2]}, lifetime=4
+        )
+        assert preserves_reachability(network)
+        assert not is_temporally_connected(network)
+
+    def test_disconnected_graph_with_unreachable_component_fails(self):
+        graph = StaticGraph(4, [(0, 1), (2, 3)])
+        network = assign_deterministic_labels(graph, {(0, 1): [1, 2]}, lifetime=4)
+        assert not preserves_reachability(network)
+
+    def test_singleton(self):
+        network = TemporalGraph(StaticGraph(1), [])
+        assert preserves_reachability(network)
+        assert is_temporally_connected(network)

@@ -1,0 +1,42 @@
+"""Tests for the ``repro-experiments`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import main
+
+
+class TestCli:
+    def test_quick_run_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        exit_code = main(
+            ["--ids", "E7", "--scale", "quick", "--seed", "5", "--output", str(output), "--quiet"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert output.exists()
+        assert "wrote" in captured.out
+        assert "## E7" in output.read_text(encoding="utf-8")
+
+    def test_console_output_not_quiet(self, capsys):
+        exit_code = main(["--ids", "E7", "--scale", "quick", "--seed", "5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "E7" in captured.out
+
+    def test_unknown_experiment_id_fails(self, capsys):
+        exit_code = main(["--ids", "E42", "--scale", "quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error" in captured.err
+
+    def test_invalid_scale_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "enormous"])
+
+    def test_help_mentions_experiments(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "E1" in capsys.readouterr().out

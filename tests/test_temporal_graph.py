@@ -1,0 +1,165 @@
+"""Tests for repro.core.temporal_graph.TemporalGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.temporal_graph import TemporalGraph
+from repro.exceptions import InvalidEdgeError, LabelingError, LifetimeError
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.types import TimeEdge
+
+
+class TestConstruction:
+    def test_sequence_labels(self):
+        graph = path_graph(3)  # edges (0,1), (1,2)
+        network = TemporalGraph(graph, [[1, 3], [2]])
+        assert network.n == 3
+        assert network.m == 2
+        assert network.total_labels == 3
+
+    def test_mapping_labels(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, {0: [5], 1: [2, 4]}, lifetime=6)
+        assert network.labels_of(0, 1) == (5,)
+        assert network.labels_of(1, 2) == (2, 4)
+
+    def test_default_lifetime_is_max_label(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[7], [2]])
+        assert network.lifetime == 7
+
+    def test_default_lifetime_without_labels_is_n(self):
+        graph = path_graph(4)
+        network = TemporalGraph(graph, [[], [], []])
+        assert network.lifetime == 4
+
+    def test_label_above_lifetime_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(LifetimeError):
+            TemporalGraph(graph, [[5], [1]], lifetime=4)
+
+    def test_non_positive_label_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(LabelingError):
+            TemporalGraph(graph, [[0], [1]])
+
+    def test_wrong_sequence_length_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(LabelingError):
+            TemporalGraph(graph, [[1]])
+
+    def test_bad_edge_index_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(LabelingError):
+            TemporalGraph(graph, {5: [1]})
+
+    def test_duplicate_labels_collapsed(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[2, 2, 2], [1]])
+        assert network.labels_of(0, 1) == (2,)
+
+
+class TestTimeArcs:
+    def test_undirected_labels_give_two_arcs(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[1], [2]])
+        assert network.num_time_arcs == 4
+        arcs = set(edge.as_tuple() for edge in network.time_edges())
+        assert (0, 1, 1) in arcs and (1, 0, 1) in arcs
+
+    def test_directed_labels_give_one_arc(self):
+        graph = complete_graph(3, directed=True)
+        network = TemporalGraph(graph, [[1]] * graph.m)
+        assert network.num_time_arcs == graph.m
+
+    def test_has_time_edge(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[1], [2]])
+        assert network.has_time_edge(0, 1, 1)
+        assert network.has_time_edge(1, 0, 1)
+        assert not network.has_time_edge(0, 1, 2)
+
+    def test_time_edges_are_time_edge_objects(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[1], [2]])
+        assert all(isinstance(edge, TimeEdge) for edge in network.time_edges())
+
+    def test_arrays_read_only(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[1], [2]])
+        with pytest.raises(ValueError):
+            network.time_arc_labels[0] = 9
+
+
+class TestQueries:
+    def test_labels_of_unknown_edge(self):
+        graph = path_graph(4)
+        network = TemporalGraph(graph, [[1], [2], [3]])
+        with pytest.raises(InvalidEdgeError):
+            network.labels_of(0, 3)
+
+    def test_label_count_per_edge(self):
+        graph = star_graph(4)
+        network = TemporalGraph(graph, [[1, 2], [3], []], lifetime=4)
+        assert network.label_count_per_edge().tolist() == [2, 1, 0]
+
+    def test_edge_label_items(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[1], [2, 3]])
+        items = dict(network.edge_label_items())
+        assert items[(0, 1)] == (1,)
+        assert items[(1, 2)] == (2, 3)
+
+    def test_is_normalized(self):
+        graph = path_graph(4)
+        assert TemporalGraph(graph, [[1], [2], [3]], lifetime=4).is_normalized
+        assert not TemporalGraph(graph, [[1], [2], [3]], lifetime=9).is_normalized
+
+    def test_labels_of_edge_index_bounds(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[1], [2]])
+        with pytest.raises(LabelingError):
+            network.labels_of_edge_index(5)
+
+
+class TestDerivedNetworks:
+    def test_restricted_to_max_label(self):
+        graph = path_graph(4)
+        network = TemporalGraph(graph, [[1, 5], [3], [6]], lifetime=6)
+        restricted = network.restricted_to_max_label(3)
+        assert restricted.labels_of(0, 1) == (1,)
+        assert restricted.labels_of(1, 2) == (3,)
+        assert restricted.labels_of(2, 3) == ()
+        assert restricted.lifetime == 6
+
+    def test_with_lifetime(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[1], [2]], lifetime=4)
+        extended = network.with_lifetime(10)
+        assert extended.lifetime == 10
+        assert extended.labels_of(0, 1) == (1,)
+
+    def test_underlying_edges_with_labels(self):
+        graph = path_graph(4)
+        network = TemporalGraph(graph, [[1], [], [2]], lifetime=4)
+        sub = network.underlying_edges_with_labels()
+        assert sub.m == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(2, 3)
+
+
+class TestEquality:
+    def test_equality_and_hash(self):
+        graph = path_graph(3)
+        a = TemporalGraph(graph, [[1], [2]], lifetime=4)
+        b = TemporalGraph(graph, [[1], [2]], lifetime=4)
+        c = TemporalGraph(graph, [[1], [3]], lifetime=4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr(self):
+        graph = path_graph(3)
+        network = TemporalGraph(graph, [[1], [2]], lifetime=4)
+        assert "lifetime=4" in repr(network)

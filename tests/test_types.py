@@ -1,0 +1,106 @@
+"""Tests for repro.types: TimeEdge, Journey and vertex validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import JourneyError
+from repro.types import UNREACHABLE, Journey, TimeEdge, as_vertex_array
+
+
+class TestTimeEdge:
+    def test_fields_are_preserved(self):
+        edge = TimeEdge(1, 2, 7)
+        assert (edge.u, edge.v, edge.label) == (1, 2, 7)
+
+    def test_reversed_swaps_endpoints(self):
+        edge = TimeEdge(1, 2, 7)
+        rev = edge.reversed()
+        assert (rev.u, rev.v, rev.label) == (2, 1, 7)
+
+    def test_as_tuple(self):
+        assert TimeEdge(3, 4, 9).as_tuple() == (3, 4, 9)
+
+    def test_non_positive_label_rejected(self):
+        with pytest.raises(JourneyError):
+            TimeEdge(0, 1, 0)
+
+    def test_is_hashable_and_equal_by_value(self):
+        assert TimeEdge(0, 1, 2) == TimeEdge(0, 1, 2)
+        assert len({TimeEdge(0, 1, 2), TimeEdge(0, 1, 2)}) == 1
+
+
+class TestJourney:
+    def test_empty_journey_has_arrival_zero(self):
+        journey = Journey(3, 3)
+        assert journey.arrival_time == 0
+        assert journey.hops == 0
+        assert journey.vertices() == (3,)
+
+    def test_empty_journey_with_distinct_endpoints_rejected(self):
+        with pytest.raises(JourneyError):
+            Journey(0, 1)
+
+    def test_valid_journey(self):
+        journey = Journey.from_sequence([(0, 1, 2), (1, 2, 5), (2, 3, 6)])
+        assert journey.source == 0
+        assert journey.target == 3
+        assert journey.arrival_time == 6
+        assert journey.departure_time == 2
+        assert journey.hops == 3
+        assert journey.vertices() == (0, 1, 2, 3)
+        assert journey.labels() == (2, 5, 6)
+
+    def test_non_increasing_labels_rejected(self):
+        with pytest.raises(JourneyError):
+            Journey.from_sequence([(0, 1, 3), (1, 2, 3)])
+
+    def test_decreasing_labels_rejected(self):
+        with pytest.raises(JourneyError):
+            Journey.from_sequence([(0, 1, 5), (1, 2, 2)])
+
+    def test_non_incident_edges_rejected(self):
+        with pytest.raises(JourneyError):
+            Journey.from_sequence([(0, 1, 1), (2, 3, 4)])
+
+    def test_source_mismatch_rejected(self):
+        with pytest.raises(JourneyError):
+            Journey(5, 2, (TimeEdge(0, 1, 1), TimeEdge(1, 2, 2)))
+
+    def test_target_mismatch_rejected(self):
+        with pytest.raises(JourneyError):
+            Journey(0, 5, (TimeEdge(0, 1, 1), TimeEdge(1, 2, 2)))
+
+    def test_from_sequence_empty_rejected(self):
+        with pytest.raises(JourneyError):
+            Journey.from_sequence([])
+
+    def test_iteration_and_len(self):
+        journey = Journey.from_sequence([(0, 1, 1), (1, 2, 2)])
+        assert len(journey) == 2
+        assert [edge.label for edge in journey] == [1, 2]
+
+
+class TestVertexArray:
+    def test_valid_vertices(self):
+        arr = as_vertex_array([0, 2, 1], 3)
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [0, 2, 1]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            as_vertex_array([0, 3], 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            as_vertex_array([-1], 3)
+
+    def test_empty_is_allowed(self):
+        assert as_vertex_array([], 3).size == 0
+
+
+def test_unreachable_sentinel_is_large_but_safe():
+    # Must exceed any realistic label but still leave headroom for additions.
+    assert UNREACHABLE > 10**12
+    assert UNREACHABLE * 2 < np.iinfo(np.int64).max

@@ -1,0 +1,68 @@
+"""Tests for repro.utils.seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import derive_seed_sequence, normalize_rng, spawn_rngs
+
+
+class TestNormalizeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(normalize_rng(None), np.random.Generator)
+
+    def test_integer_seed_is_deterministic(self):
+        a = normalize_rng(42).integers(0, 1000, size=5)
+        b = normalize_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough_is_identity(self):
+        gen = np.random.default_rng(1)
+        assert normalize_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = normalize_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_matches(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count_allowed(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(123, 3)
+        draws = [gen.integers(0, 10**9) for gen in children]
+        assert len(set(draws)) == 3
+
+    def test_reproducible_for_same_seed(self):
+        first = [gen.integers(0, 10**9) for gen in spawn_rngs(9, 4)]
+        second = [gen.integers(0, 10**9) for gen in spawn_rngs(9, 4)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = [gen.integers(0, 10**9) for gen in spawn_rngs(1, 3)]
+        second = [gen.integers(0, 10**9) for gen in spawn_rngs(2, 3)]
+        assert first != second
+
+    def test_spawning_from_generator_is_deterministic_given_state(self):
+        gen_a = np.random.default_rng(5)
+        gen_b = np.random.default_rng(5)
+        a = [g.integers(0, 10**9) for g in spawn_rngs(gen_a, 2)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(gen_b, 2)]
+        assert a == b
+
+
+def test_derive_seed_sequence_roundtrip():
+    seq = derive_seed_sequence(11)
+    assert isinstance(seq, np.random.SeedSequence)
+    same = derive_seed_sequence(np.random.SeedSequence(11))
+    assert isinstance(same, np.random.SeedSequence)

@@ -1,0 +1,74 @@
+"""Tests for repro.utils.timing and repro.utils.logging."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.timing import Timer, format_duration
+
+
+class TestFormatDuration:
+    def test_nanoseconds(self):
+        assert format_duration(5e-9).endswith("ns")
+
+    def test_microseconds(self):
+        assert format_duration(5e-6).endswith("µs")
+
+    def test_milliseconds(self):
+        assert format_duration(5e-3).endswith("ms")
+
+    def test_seconds(self):
+        assert format_duration(5.0) == "5.00 s"
+
+    def test_minutes(self):
+        assert format_duration(300.0).endswith("min")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+
+class TestTimer:
+    def test_context_manager_records_elapsed(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.elapsed >= 0.0
+        assert not timer.running
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_running_flag(self):
+        timer = Timer()
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+    def test_str_includes_label(self):
+        timer = Timer(label="fit")
+        timer.start()
+        timer.stop()
+        assert str(timer).startswith("fit: ")
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        logger = get_logger("montecarlo")
+        assert logger.name == "repro.montecarlo"
+
+    def test_get_logger_root(self):
+        assert get_logger().name == "repro"
+
+    def test_already_qualified_name_not_doubled(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_enable_console_logging_is_idempotent(self):
+        logger = enable_console_logging(logging.WARNING)
+        handlers_before = len(logger.handlers)
+        enable_console_logging(logging.WARNING)
+        assert len(logger.handlers) == handlers_before

@@ -1,0 +1,104 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_square_matrix,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="widgets"):
+            check_positive_int(0, "widgets")
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_non_negative_int("3", "x")
+
+
+class TestProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.0001, 5])
+    def test_rejects_outside_unit_interval(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_probability(True, "p")
+
+    def test_accepts_integer_zero_and_one(self):
+        assert check_probability(1, "p") == 1.0
+
+
+class TestFraction:
+    def test_accepts_positive_float(self):
+        assert check_fraction(0.25, "f") == 0.25
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_fraction(float("inf"), "f")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_fraction(float("nan"), "f")
+
+
+class TestSquareMatrix:
+    def test_accepts_square(self):
+        matrix = check_square_matrix([[1, 2], [3, 4]], "m")
+        assert matrix.shape == (2, 2)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            check_square_matrix([[1, 2, 3], [4, 5, 6]], "m")
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            check_square_matrix([1, 2, 3], "m")
