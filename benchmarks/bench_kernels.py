@@ -1,7 +1,8 @@
 """Ablation benches for the design choices called out in DESIGN.md §5.
 
 * vectorised label-sweep journey kernel vs. the scalar reference,
-* batched all-pairs distance matrix vs. the row-by-row variant,
+* batched all-pairs distance matrix (CSR engine) vs. the row-by-row variant,
+* the one-off cost of building the cached CSR time-arc layout,
 * binary-search threshold location vs. the linear sweep.
 """
 
@@ -12,8 +13,13 @@ import pytest
 
 from repro.core.distances import temporal_distance_matrix, temporal_distance_matrix_reference
 from repro.core.guarantees import minimal_labels_for_reachability, minimal_labels_linear_sweep
-from repro.core.journeys import earliest_arrival_times, earliest_arrival_times_reference
+from repro.core.journeys import (
+    earliest_arrival_matrix,
+    earliest_arrival_times,
+    earliest_arrival_times_reference,
+)
 from repro.core.labeling import normalized_urtn
+from repro.core.timearc_csr import build_timearc_csr
 from repro.graphs.generators import complete_graph, star_graph
 
 
@@ -49,6 +55,25 @@ class TestAllPairsKernelAblation:
             iterations=1,
         )
         assert matrix.shape[0] == clique_instance.n
+
+    def test_bench_source_subset_rows(self, benchmark, clique_instance):
+        sources = list(range(0, clique_instance.n, 4))
+        matrix = benchmark(lambda: earliest_arrival_matrix(clique_instance, sources))
+        assert matrix.shape == (len(sources), clique_instance.n)
+
+    def test_batched_matches_row_by_row(self, clique_instance):
+        fast = temporal_distance_matrix(clique_instance)
+        slow = temporal_distance_matrix_reference(clique_instance)
+        assert np.array_equal(fast, slow)
+
+
+class TestCSRBuildCost:
+    def test_bench_build_timearc_csr(self, benchmark, clique_instance):
+        csr = benchmark(lambda: build_timearc_csr(clique_instance))
+        assert csr.num_arcs == clique_instance.num_time_arcs
+
+    def test_cached_csr_is_reused(self, clique_instance):
+        assert clique_instance.timearc_csr is clique_instance.timearc_csr
 
 
 class TestThresholdSearchAblation:

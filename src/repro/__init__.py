@@ -54,6 +54,7 @@ from .core import (
     FastestJourneyResult,
     TemporalGraph,
     box_assignment,
+    earliest_arrival_matrix,
     earliest_arrival_times,
     expansion_process,
     fastest_journey,
@@ -72,6 +73,7 @@ from .core import (
     temporal_diameter,
     temporal_distance,
     temporal_distance_matrix,
+    temporal_distance_summary,
     tree_broadcast_assignment,
     uniform_random_labels,
 )
@@ -121,6 +123,7 @@ __all__ = [
     "normalized_urtn",
     "box_assignment",
     "tree_broadcast_assignment",
+    "earliest_arrival_matrix",
     "earliest_arrival_times",
     "foremost_journey",
     "shortest_journey",
@@ -128,6 +131,7 @@ __all__ = [
     "FastestJourneyResult",
     "temporal_distance",
     "temporal_distance_matrix",
+    "temporal_distance_summary",
     "temporal_diameter",
     "is_temporally_connected",
     "preserves_reachability",

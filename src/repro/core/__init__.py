@@ -11,7 +11,9 @@ This subpackage implements:
   Section 5, spanning-tree broadcast assignment);
 * journey machinery (:mod:`repro.core.journeys`,
   :mod:`repro.core.distances`) — foremost journeys, temporal distances and the
-  temporal diameter (Definitions 2–5);
+  temporal diameter (Definitions 2–5), backed by the batched multi-source
+  engine over the label-grouped CSR time-arc layout
+  (:mod:`repro.core.timearc_csr`);
 * the Expansion Process of Algorithm 1 (:mod:`repro.core.expansion`);
 * the flooding dissemination protocol of §3.5 and the random phone-call
   baseline (:mod:`repro.core.dissemination`);
@@ -22,6 +24,7 @@ This subpackage implements:
 """
 
 from .temporal_graph import TemporalGraph
+from .timearc_csr import TimeArcCSR, build_timearc_csr
 from .labeling import (
     assign_deterministic_labels,
     box_assignment,
@@ -30,16 +33,21 @@ from .labeling import (
     uniform_random_labels,
 )
 from .journeys import (
+    earliest_arrival_matrix,
     earliest_arrival_times,
+    earliest_arrival_times_reference,
     foremost_journey,
     foremost_journey_tree,
     temporal_distance,
 )
 from .journey_variants import FastestJourneyResult, fastest_journey, shortest_journey
 from .distances import (
+    DistanceSummary,
     average_temporal_distance,
     temporal_diameter,
     temporal_distance_matrix,
+    temporal_distance_matrix_reference,
+    temporal_distance_summary,
     temporal_eccentricities,
     temporal_radius,
 )
@@ -75,19 +83,26 @@ from .lifetime import (
 
 __all__ = [
     "TemporalGraph",
+    "TimeArcCSR",
+    "build_timearc_csr",
     "uniform_random_labels",
     "normalized_urtn",
     "box_assignment",
     "tree_broadcast_assignment",
     "assign_deterministic_labels",
+    "earliest_arrival_matrix",
     "earliest_arrival_times",
+    "earliest_arrival_times_reference",
     "foremost_journey",
     "foremost_journey_tree",
     "temporal_distance",
     "shortest_journey",
     "fastest_journey",
     "FastestJourneyResult",
+    "DistanceSummary",
     "temporal_distance_matrix",
+    "temporal_distance_matrix_reference",
+    "temporal_distance_summary",
     "temporal_diameter",
     "temporal_eccentricities",
     "temporal_radius",

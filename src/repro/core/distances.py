@@ -1,28 +1,37 @@
 """All-pairs temporal distances and the temporal diameter (Definition 5).
 
-The temporal distance matrix is computed by sweeping the time arcs in
-ascending label order while maintaining the full ``(sources × vertices)``
-arrival matrix.  For each label value the update is a batched boolean
-reduction over the arcs carrying that label (an ``logical_or.reduceat`` per
-head vertex), so the per-label work is a handful of vectorised NumPy
-operations instead of a Python loop over sources × arcs.  On the normalized
-random clique this makes exact all-pairs temporal distances for ``n`` in the
-hundreds take well under a second.
+Every quantity in this module is a reduction of the batched arrival matrix
+produced by :func:`repro.core.journeys.earliest_arrival_matrix`: the full
+``(sources × vertices)`` arrival state is advanced one label group at a time
+over the cached :class:`~repro.core.timearc_csr.TimeArcCSR` layout, so
+all-pairs temporal distances cost a *single* sweep of the time arcs instead of
+``n`` independent single-source sweeps.  With the saturation early-exit this
+makes exact all-pairs distances on the normalized random clique for ``n`` in
+the hundreds take milliseconds; ``benchmarks/bench_temporal_diameter.py``
+tracks the speedup over the looped per-source path (kept here as
+:func:`temporal_distance_matrix_reference` for cross-validation).
+
+For Monte-Carlo trials that need several statistics of the same instance,
+:func:`temporal_distance_summary` computes the diameter, radius, average
+distance and reachable fraction from one shared sweep.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from ..types import UNREACHABLE, as_vertex_array
-from .journeys import earliest_arrival_times
+from .journeys import earliest_arrival_matrix, earliest_arrival_times
 from .temporal_graph import TemporalGraph
 
 __all__ = [
+    "DistanceSummary",
     "temporal_distance_matrix",
     "temporal_distance_matrix_reference",
+    "temporal_distance_summary",
     "temporal_eccentricities",
     "temporal_diameter",
     "temporal_radius",
@@ -34,6 +43,10 @@ def temporal_distance_matrix(
     network: TemporalGraph, sources: Sequence[int] | None = None
 ) -> np.ndarray:
     """Temporal distances δ(s, v) for every requested source ``s``.
+
+    Thin wrapper over the batched engine
+    :func:`repro.core.journeys.earliest_arrival_matrix` with the paper's
+    convention ``start_time = 0``.
 
     Parameters
     ----------
@@ -49,54 +62,18 @@ def temporal_distance_matrix(
         earliest arrival at ``v`` from ``sources[i]`` (0 on the diagonal,
         :data:`~repro.types.UNREACHABLE` when no journey exists).
     """
-    n = network.n
-    if sources is None:
-        source_arr = np.arange(n, dtype=np.int64)
-    else:
-        source_arr = as_vertex_array(sources, n)
-    num_sources = source_arr.size
-    arrival = np.full((num_sources, n), UNREACHABLE, dtype=np.int64)
-    arrival[np.arange(num_sources), source_arr] = 0
-    if network.num_time_arcs == 0 or num_sources == 0:
-        return arrival
-
-    labels = network.time_arc_labels
-    tails = network.time_arc_tails
-    heads = network.time_arc_heads
-    # Sort arcs by (label, head) so that, inside each label group, arcs sharing
-    # a head are contiguous and can be OR-reduced with a single reduceat call.
-    order = np.lexsort((heads, labels))
-    labels = labels[order]
-    tails = tails[order]
-    heads = heads[order]
-
-    unique_labels, group_starts = np.unique(labels, return_index=True)
-    group_ends = np.append(group_starts[1:], labels.size)
-    for label, lo, hi in zip(
-        unique_labels.tolist(), group_starts.tolist(), group_ends.tolist()
-    ):
-        group_tails = tails[lo:hi]
-        group_heads = heads[lo:hi]
-        # Which sources can forward over each arc of this label group.
-        reachable = arrival[:, group_tails] < label
-        if not reachable.any():
-            continue
-        head_values, head_starts = np.unique(group_heads, return_index=True)
-        if head_values.size == group_heads.size:
-            any_reachable = reachable
-        else:
-            any_reachable = np.logical_or.reduceat(reachable, head_starts, axis=1)
-        current = arrival[:, head_values]
-        improved = any_reachable & (current > label)
-        if improved.any():
-            arrival[:, head_values] = np.where(improved, label, current)
-    return arrival
+    return earliest_arrival_matrix(network, sources)
 
 
 def temporal_distance_matrix_reference(
     network: TemporalGraph, sources: Sequence[int] | None = None
 ) -> np.ndarray:
-    """Row-by-row reference implementation (one single-source sweep per row)."""
+    """Looped reference path: one single-source sweep per requested row.
+
+    Kept as the cross-validation baseline for the batched engine and as the
+    "looped path" side of the speedup benchmark in
+    ``benchmarks/bench_temporal_diameter.py``.
+    """
     n = network.n
     if sources is None:
         source_list = list(range(n))
@@ -106,6 +83,65 @@ def temporal_distance_matrix_reference(
     if not rows:
         return np.empty((0, n), dtype=np.int64)
     return np.stack(rows, axis=0)
+
+
+@dataclass(frozen=True, slots=True)
+class DistanceSummary:
+    """All-pairs distance statistics derived from one batched sweep.
+
+    Attributes
+    ----------
+    diameter:
+        ``max_{s,t} δ(s, t)``; :data:`~repro.types.UNREACHABLE` if some
+        ordered pair has no journey.
+    radius:
+        The minimum temporal eccentricity over all vertices.
+    average_distance:
+        Mean δ(s, t) over ordered pairs ``s ≠ t`` with a journey, or ``nan``
+        when no such pair exists.
+    reachable_fraction:
+        Fraction of ordered pairs ``s ≠ t`` connected by a journey.
+    """
+
+    diameter: int
+    radius: int
+    average_distance: float
+    reachable_fraction: float
+
+
+def temporal_distance_summary(network: TemporalGraph) -> DistanceSummary:
+    """Compute diameter, radius, average distance and reachability together.
+
+    One call to the batched engine feeds all four statistics, which is what
+    the Monte-Carlo trial functions want: sampling an instance and reading
+    several of its all-pairs quantities should cost one sweep, not one sweep
+    per quantity.
+
+    Returns
+    -------
+    DistanceSummary
+        The bundled statistics for this instance.
+    """
+    n = network.n
+    if n <= 1:
+        return DistanceSummary(
+            diameter=0, radius=0, average_distance=0.0, reachable_fraction=1.0
+        )
+    matrix = earliest_arrival_matrix(network)
+    off_diagonal = ~np.eye(n, dtype=bool)
+    ecc = np.where(off_diagonal, matrix, 0).max(axis=1)
+    reach_mask = off_diagonal & (matrix < UNREACHABLE)
+    reachable_pairs = int(reach_mask.sum())
+    if reachable_pairs:
+        average = float(matrix[reach_mask].mean())
+    else:
+        average = float("nan")
+    return DistanceSummary(
+        diameter=int(ecc.max()),
+        radius=int(ecc.min()),
+        average_distance=average,
+        reachable_fraction=reachable_pairs / float(n * (n - 1)),
+    )
 
 
 def temporal_eccentricities(network: TemporalGraph) -> np.ndarray:
@@ -153,8 +189,4 @@ def average_temporal_distance(network: TemporalGraph) -> float:
     """
     if network.n <= 1:
         return 0.0
-    matrix = temporal_distance_matrix(network).astype(np.float64)
-    mask = ~np.eye(network.n, dtype=bool) & (matrix < UNREACHABLE)
-    if not mask.any():
-        return float("nan")
-    return float(matrix[mask].mean())
+    return temporal_distance_summary(network).average_distance

@@ -93,9 +93,12 @@ def opt_labels_exhaustive(
 
     Enumerates assignments by increasing total label count, distributing
     ``k`` labels over the ``m`` edges and trying all label values from
-    ``{1, …, lifetime}`` per edge.  Intended for graphs with at most ~5 edges
-    and small lifetimes; the test suite uses it to certify the analytic bounds
-    on the star and the triangle.
+    ``{1, …, lifetime}`` per edge.  Each candidate is checked with the batched
+    all-pairs reachability predicate (one
+    :func:`repro.core.journeys.earliest_arrival_matrix` sweep per assignment,
+    via :func:`repro.core.reachability.preserves_reachability`).  Intended for
+    graphs with at most ~5 edges and small lifetimes; the test suite uses it
+    to certify the analytic bounds on the star and the triangle.
 
     Raises
     ------

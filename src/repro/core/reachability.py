@@ -6,6 +6,12 @@ reachability* of the underlying graph: the property
 (Definition 6).  For connected graphs this is simply all-ordered-pairs
 temporal reachability; the general form compares against static reachability
 so disconnected underlying graphs are handled correctly too.
+
+All-pairs predicates are answered from one pass of the batched engine
+(:func:`repro.core.journeys.earliest_arrival_matrix` over the cached CSR
+time-arc layout) rather than ``n`` single-source sweeps, which matters because
+:func:`preserves_reachability` sits in the inner loop of the exhaustive OPT
+search of :mod:`repro.core.price_of_randomness`.
 """
 
 from __future__ import annotations
@@ -13,9 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.properties import bfs_distances
-from ..types import UNREACHABLE, as_vertex_array
-from .distances import temporal_distance_matrix
-from .journeys import earliest_arrival_times
+from ..types import UNREACHABLE
+from .journeys import earliest_arrival_matrix, earliest_arrival_times
 from .temporal_graph import TemporalGraph
 
 __all__ = [
@@ -32,7 +37,7 @@ def reachability_matrix(network: TemporalGraph) -> np.ndarray:
 
     The diagonal is ``True`` (the empty journey).
     """
-    return temporal_distance_matrix(network) < UNREACHABLE
+    return earliest_arrival_matrix(network) < UNREACHABLE
 
 
 def reachable_set(network: TemporalGraph, source: int) -> np.ndarray:

@@ -5,15 +5,21 @@ a pair ``(G, L)`` where ``L = {L_e ⊆ ℕ : e ∈ E}`` assigns a set of discret
 time labels to every edge.  When every ``L_e ⊆ {1, …, a}`` the network is
 *ephemeral* with lifetime ``a``.
 
-Internally the class keeps two synchronized representations:
+Internally the class keeps three synchronized representations:
 
 * a per-edge mapping ``edge index → sorted tuple of labels`` for API-level
   queries (``labels_of``, ``total_labels``, …);
 * flat *time-arc arrays* ``(tails, heads, labels)`` — one entry per
-  availability of each arc — used by the vectorised journey kernels.  For an
-  undirected underlying graph a label on edge ``{u, v}`` produces the two time
-  arcs ``(u, v, l)`` and ``(v, u, l)``, matching the paper's convention that an
-  undirected edge can be crossed in either direction at its label.
+  availability of each arc — used by the single-source journey kernels.  For
+  an undirected underlying graph a label on edge ``{u, v}`` produces the two
+  time arcs ``(u, v, l)`` and ``(v, u, l)``, matching the paper's convention
+  that an undirected edge can be crossed in either direction at its label;
+* a lazily built, cached :class:`~repro.core.timearc_csr.TimeArcCSR` — the
+  label-grouped CSR layout (arcs sorted by ``(label, head)`` with row offsets
+  per label value) that backs every batched kernel, most importantly
+  :func:`repro.core.journeys.earliest_arrival_matrix`.  The cache means the
+  ``O(A log A)`` sort is paid once per network, not once per sweep; it is
+  safe because the label data is immutable after construction.
 """
 
 from __future__ import annotations
@@ -63,6 +69,7 @@ class TemporalGraph:
         "_ta_heads",
         "_ta_labels",
         "_ta_edge_index",
+        "_timearc_csr",
     )
 
     def __init__(
@@ -86,6 +93,7 @@ class TemporalGraph:
             raise LifetimeError(max_label, self._lifetime)
 
         self._build_time_arcs()
+        self._timearc_csr = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -218,6 +226,24 @@ class TemporalGraph:
         view = self._ta_edge_index.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def timearc_csr(self):
+        """The label-grouped CSR layout of the time arcs, built lazily.
+
+        Returns
+        -------
+        repro.core.timearc_csr.TimeArcCSR
+            Immutable CSR structure shared by all batched kernels.  Building
+            it costs ``O(A log A)`` on first access and nothing afterwards;
+            the label data cannot change after construction, so the cache
+            never goes stale.
+        """
+        if self._timearc_csr is None:
+            from .timearc_csr import build_timearc_csr
+
+            self._timearc_csr = build_timearc_csr(self)
+        return self._timearc_csr
 
     # ------------------------------------------------------------------ #
     # label queries

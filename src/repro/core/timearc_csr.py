@@ -1,0 +1,209 @@
+"""Label-grouped CSR layout of a temporal network's time arcs.
+
+The journey kernels all share one access pattern: visit the time arcs one
+*label value* at a time, in ascending label order, and inside each label group
+reduce the arcs that share a head vertex.  The :class:`TimeArcCSR` structure
+precomputes exactly that view once per :class:`~repro.core.temporal_graph.TemporalGraph`:
+
+* arcs are sorted by ``(label, head)`` and stored as flat ``tails``/``heads``
+  column arrays (the CSR "columns");
+* ``arc_offsets`` is the CSR row-offset array over *label groups*: the arcs
+  carrying the ``g``-th smallest label occupy
+  ``tails[arc_offsets[g]:arc_offsets[g + 1]]``;
+* for every group the distinct head vertices and the start of each head's run
+  (``head_values``/``head_starts``, indexed through ``head_offsets``) are
+  precomputed, so a kernel can OR-reduce per-head reachability with a single
+  ``np.logical_or.reduceat`` and no per-call ``np.unique``.
+
+Because a journey's labels must strictly increase, a sweep that processes the
+groups in order maintains the invariant "after group ``g``, every arrival time
+``<= labels[g]`` is final" — see ``docs/performance.md`` for the full argument.
+The structure is immutable (all arrays are read-only) and is built lazily and
+cached by :attr:`TemporalGraph.timearc_csr`, so the ``O(A log A)`` sort cost is
+paid once per network instead of once per kernel call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .temporal_graph import TemporalGraph
+
+__all__ = ["TimeArcCSR", "build_timearc_csr"]
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+@dataclass(frozen=True, slots=True)
+class TimeArcCSR:
+    """Immutable label-grouped CSR view of a temporal network's time arcs.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices of the network the layout was built from.
+    lifetime:
+        The network's lifetime ``a``.
+    labels:
+        The distinct label values present, ascending — one CSR "row" (label
+        group) per entry; shape ``(G,)``.
+    arc_offsets:
+        Row-offset array of shape ``(G + 1,)``; group ``g`` spans arc
+        positions ``arc_offsets[g]`` to ``arc_offsets[g + 1]``.
+    tails, heads:
+        Tail/head vertex of every arc, sorted by ``(label, head)``; shape
+        ``(A,)``.
+    arc_order:
+        Permutation mapping CSR arc position back to the index in the
+        network's original time-arc arrays (``time_arc_tails`` etc.), for
+        journey reconstruction; shape ``(A,)``.
+    edge_index:
+        Canonical edge index of every arc, in CSR order; shape ``(A,)``.
+    head_values:
+        Distinct head vertices of every group, concatenated; the heads of
+        group ``g`` are ``head_values[head_offsets[g]:head_offsets[g + 1]]``.
+    head_offsets:
+        Offsets into ``head_values``/``head_starts`` per group; shape
+        ``(G + 1,)``.
+    head_starts:
+        For each entry of ``head_values``, the start of that head's run of
+        arcs *relative to its group's first arc* — the ``reduceat`` index
+        array for the group, shape matching ``head_values``.
+    """
+
+    n: int
+    lifetime: int
+    labels: np.ndarray
+    arc_offsets: np.ndarray
+    tails: np.ndarray
+    heads: np.ndarray
+    arc_order: np.ndarray
+    edge_index: np.ndarray
+    head_values: np.ndarray
+    head_offsets: np.ndarray
+    head_starts: np.ndarray
+
+    @property
+    def num_arcs(self) -> int:
+        """Total number of time arcs stored."""
+        return int(self.tails.size)
+
+    @property
+    def num_groups(self) -> int:
+        """Number of label groups (distinct label values)."""
+        return int(self.labels.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the column arrays (diagnostics / capacity planning)."""
+        return int(
+            sum(
+                arr.nbytes
+                for arr in (
+                    self.labels,
+                    self.arc_offsets,
+                    self.tails,
+                    self.heads,
+                    self.arc_order,
+                    self.edge_index,
+                    self.head_values,
+                    self.head_offsets,
+                    self.head_starts,
+                )
+            )
+        )
+
+    def group_slice(self, group: int) -> slice:
+        """The ``slice`` into the arc arrays covered by label group ``group``."""
+        return slice(int(self.arc_offsets[group]), int(self.arc_offsets[group + 1]))
+
+    def iter_groups(self) -> Iterator[tuple[int, slice]]:
+        """Iterate ``(label, arc_slice)`` pairs in ascending label order."""
+        for group in range(self.num_groups):
+            yield int(self.labels[group]), self.group_slice(group)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeArcCSR(n={self.n}, arcs={self.num_arcs}, "
+            f"groups={self.num_groups}, lifetime={self.lifetime})"
+        )
+
+
+def build_timearc_csr(network: "TemporalGraph") -> TimeArcCSR:
+    """Build the label-grouped CSR layout for a temporal network.
+
+    The arcs are sorted by ``(label, head)`` so that inside each label group
+    arcs sharing a head are contiguous; the per-group distinct heads and their
+    run starts are precomputed for the ``reduceat`` reduction used by the
+    batched kernels.  Cost is ``O(A log A)`` time and ``O(A)`` memory for
+    ``A = network.num_time_arcs``; call sites should go through the cached
+    :attr:`TemporalGraph.timearc_csr` rather than rebuilding.
+
+    Parameters
+    ----------
+    network:
+        The temporal network whose time arcs to lay out.
+
+    Returns
+    -------
+    TimeArcCSR
+        The immutable CSR structure (all arrays read-only).
+    """
+    raw_labels = network.time_arc_labels
+    num_arcs = int(raw_labels.size)
+    if num_arcs == 0:
+        empty = _readonly(np.empty(0, dtype=np.int64))
+        return TimeArcCSR(
+            n=network.n,
+            lifetime=network.lifetime,
+            labels=empty,
+            arc_offsets=_readonly(np.zeros(1, dtype=np.int64)),
+            tails=empty,
+            heads=empty,
+            arc_order=empty,
+            edge_index=empty,
+            head_values=empty,
+            head_offsets=_readonly(np.zeros(1, dtype=np.int64)),
+            head_starts=empty,
+        )
+
+    order = np.lexsort((network.time_arc_heads, raw_labels))
+    labels = raw_labels[order]
+    tails = network.time_arc_tails[order]
+    heads = network.time_arc_heads[order]
+    edge_index = network.time_arc_edge_index[order]
+
+    unique_labels, group_starts = np.unique(labels, return_index=True)
+    arc_offsets = np.append(group_starts, num_arcs).astype(np.int64)
+
+    # A head run starts wherever the head changes or a new label group begins.
+    run_start = np.empty(num_arcs, dtype=bool)
+    run_start[0] = True
+    run_start[1:] = (heads[1:] != heads[:-1]) | (labels[1:] != labels[:-1])
+    head_starts_abs = np.flatnonzero(run_start).astype(np.int64)
+    head_values = heads[head_starts_abs]
+    # Every group start is itself a run start, so searchsorted lands exactly.
+    head_offsets = np.searchsorted(head_starts_abs, arc_offsets).astype(np.int64)
+    heads_per_group = np.diff(head_offsets)
+    head_starts = head_starts_abs - np.repeat(arc_offsets[:-1], heads_per_group)
+
+    return TimeArcCSR(
+        n=network.n,
+        lifetime=network.lifetime,
+        labels=_readonly(unique_labels.astype(np.int64)),
+        arc_offsets=_readonly(arc_offsets),
+        tails=_readonly(tails),
+        heads=_readonly(heads),
+        arc_order=_readonly(order.astype(np.int64)),
+        edge_index=_readonly(edge_index),
+        head_values=_readonly(head_values),
+        head_offsets=_readonly(head_offsets),
+        head_starts=_readonly(head_starts),
+    )

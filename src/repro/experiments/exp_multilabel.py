@@ -21,7 +21,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..analysis.comparison import ComparisonRow
-from ..core.distances import temporal_diameter
+from ..core.distances import temporal_distance_summary
 from ..core.labeling import uniform_random_labels
 from ..graphs.generators import complete_graph
 from ..montecarlo.convergence import FixedBudgetStopping
@@ -46,8 +46,10 @@ def trial_multilabel(params: Mapping[str, Any], rng: np.random.Generator) -> dic
     r = int(params["r"])
     clique = complete_graph(n, directed=True)
     network = uniform_random_labels(clique, labels_per_edge=r, lifetime=n, seed=rng)
+    summary = temporal_distance_summary(network)
     return {
-        "temporal_diameter": float(temporal_diameter(network)),
+        "temporal_diameter": float(summary.diameter),
+        "mean_temporal_distance": summary.average_distance,
         "total_labels": float(network.total_labels),
     }
 

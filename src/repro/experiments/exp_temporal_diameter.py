@@ -25,7 +25,7 @@ import numpy as np
 from ..analysis.bounds import expected_direct_wait, temporal_diameter_prediction
 from ..analysis.comparison import ComparisonRow
 from ..analysis.fitting import fit_log_model, fit_power_model
-from ..core.distances import temporal_diameter
+from ..core.distances import temporal_distance_summary
 from ..core.labeling import normalized_urtn
 from ..graphs.generators import complete_graph
 from ..montecarlo.experiment import Experiment
@@ -54,10 +54,13 @@ def trial_temporal_diameter(
     directed = bool(params.get("directed", True))
     clique = complete_graph(n, directed=directed)
     network = normalized_urtn(clique, seed=rng)
-    td = temporal_diameter(network)
+    # One batched all-pairs sweep feeds every statistic of this instance.
+    summary = temporal_distance_summary(network)
+    td = summary.diameter
     log_n = math.log(n)
     return {
         "temporal_diameter": float(td),
+        "mean_temporal_distance": summary.average_distance,
         "ratio_to_log_n": float(td) / log_n,
         "direct_wait_baseline": expected_direct_wait(n),
     }

