@@ -16,11 +16,13 @@ True
 
 The public API re-exports the most commonly used pieces; the subpackages
 (:mod:`repro.core`, :mod:`repro.graphs`, :mod:`repro.montecarlo`,
-:mod:`repro.analysis`, :mod:`repro.experiments`, …) expose the full surface.
+:mod:`repro.engine`, :mod:`repro.analysis`, :mod:`repro.experiments`, …)
+expose the full surface.
 """
 
 from ._version import __version__
 from .exceptions import (
+    CheckpointError,
     ConfigurationError,
     ConvergenceError,
     ExperimentError,
@@ -84,6 +86,7 @@ from .montecarlo import (
     run_trials,
     summarize,
 )
+from .engine import MultiprocessExecutor, SerialExecutor, run_sharded
 from .experiments import run_experiments, write_experiments_markdown
 
 __all__ = [
@@ -101,6 +104,7 @@ __all__ = [
     "ConfigurationError",
     "ConvergenceError",
     "SerializationError",
+    "CheckpointError",
     # value types
     "UNREACHABLE",
     "TimeEdge",
@@ -152,6 +156,10 @@ __all__ = [
     "ParameterSweep",
     "run_trials",
     "summarize",
+    # parallel execution engine
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "run_sharded",
     # experiments
     "run_experiments",
     "write_experiments_markdown",

@@ -1,0 +1,67 @@
+"""Parallel Monte-Carlo execution engine.
+
+The paper's headline quantities (expected temporal diameter, price of
+randomness, ER connectivity probabilities) are all estimated by repeated
+independent trials — an embarrassingly parallel workload.  This subpackage
+executes such trial budgets in deterministic shards:
+
+* :mod:`repro.engine.sharding` — shard planning and per-trial seed streams
+  (the determinism contract lives here);
+* :mod:`repro.engine.accumulators` — mergeable streaming aggregation
+  (Welford moments, min/max/count, reservoir sampling);
+* :mod:`repro.engine.executors` — the :class:`Executor` protocol with serial
+  and process-pool implementations;
+* :mod:`repro.engine.checkpoint` — crash/resume persistence of completed
+  shards;
+* :mod:`repro.engine.driver` — :func:`run_sharded`, the entry point that the
+  Monte-Carlo runner delegates to.
+
+See ``docs/parallel_engine.md`` for the architecture and the determinism
+contract: for a fixed master seed the results are bit-identical across
+``jobs`` counts, executors, and crash/resume boundaries.
+"""
+
+from .accumulators import (
+    DEFAULT_RESERVOIR_CAPACITY,
+    AccumulatorSet,
+    MetricAccumulator,
+    ReservoirSample,
+    StreamingMoments,
+)
+from .checkpoint import CheckpointStore
+from .driver import EngineResult, ProgressCallback, run_sharded
+from .executors import (
+    Executor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    ShardResult,
+    ShardTask,
+    ShardWork,
+    execute_shard,
+    resolve_executor,
+)
+from .sharding import DEFAULT_MAX_SHARDS, SeedPlan, Shard, plan_shards
+
+__all__ = [
+    "AccumulatorSet",
+    "MetricAccumulator",
+    "ReservoirSample",
+    "StreamingMoments",
+    "DEFAULT_RESERVOIR_CAPACITY",
+    "CheckpointStore",
+    "EngineResult",
+    "ProgressCallback",
+    "run_sharded",
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "resolve_executor",
+    "ShardTask",
+    "ShardWork",
+    "ShardResult",
+    "execute_shard",
+    "DEFAULT_MAX_SHARDS",
+    "Shard",
+    "SeedPlan",
+    "plan_shards",
+]

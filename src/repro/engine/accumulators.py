@@ -1,0 +1,356 @@
+"""Mergeable streaming accumulators for sharded Monte-Carlo aggregation.
+
+A shard of trials must be summarisable in O(1) space so that workers can ship
+partial results back to the driver without serialising full trial arrays.
+Three primitives cover everything the experiment reports need:
+
+* :class:`StreamingMoments` — count / mean / variance via Welford's online
+  algorithm, plus running min and max.  Two partials merge exactly with the
+  Chan et al. parallel update, so the merged moments equal the single-pass
+  moments over the concatenated stream (up to floating-point rounding, which
+  is made deterministic by always merging in shard-index order).
+* :class:`ReservoirSample` — a uniform sample of bounded size, used for the
+  median and for bootstrap resampling when the raw trial array is not kept.
+  Merging two reservoirs draws the split from a hypergeometric distribution,
+  so the merged reservoir is again a uniform sample of the union.
+* :class:`MetricAccumulator` / :class:`AccumulatorSet` — one moments+reservoir
+  pair per metric, with dict-based ``state`` round-tripping used by both the
+  multiprocess transport and the on-disk checkpoint format.
+
+Every ``merge`` is deterministic given the RNG passed in and the order of the
+operands; the engine driver always merges in ascending shard index with an
+RNG spawned from the master seed, which is what makes streaming aggregation
+independent of worker count and completion order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from ..montecarlo.statistics import SummaryStatistics, normal_interval_from_moments
+from ..utils.validation import check_positive_int
+
+__all__ = [
+    "DEFAULT_RESERVOIR_CAPACITY",
+    "StreamingMoments",
+    "ReservoirSample",
+    "MetricAccumulator",
+    "AccumulatorSet",
+]
+
+#: Default bound on the per-metric reservoir.  Large enough that the median
+#: is exact for every preset budget in the repository (the biggest is 60
+#: repetitions) while keeping shard partials a few KiB per metric.
+DEFAULT_RESERVOIR_CAPACITY = 1024
+
+
+class StreamingMoments:
+    """Welford online moments plus running min/max.
+
+    ``add`` consumes one observation in O(1); ``merge`` combines two partials
+    exactly (Chan et al. 1979), so sharded accumulation reproduces the
+    sequential statistics without retaining the stream.
+    """
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Consume one observation."""
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another partial into this one (exact parallel Welford update)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased (``ddof=1``) sample variance; 0.0 with fewer than 2 samples."""
+        if self.count < 2:
+            return 0.0
+        return max(self.m2 / (self.count - 1), 0.0)
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def to_state(self) -> dict[str, float]:
+        """JSON-serialisable snapshot."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "StreamingMoments":
+        """Rebuild from a :meth:`to_state` snapshot."""
+        moments = cls()
+        moments.count = int(state["count"])
+        moments.mean = float(state["mean"])
+        moments.m2 = float(state["m2"])
+        moments.minimum = float(state["min"])
+        moments.maximum = float(state["max"])
+        return moments
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingMoments(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+class ReservoirSample:
+    """Bounded uniform sample of a stream (Vitter's algorithm R).
+
+    The reservoir is an exact copy of the stream while ``seen <= capacity``
+    (so the median it yields is exact for every in-budget run) and a uniform
+    random subset beyond that.  ``merge`` keeps uniformity: the number of
+    survivors taken from each side is hypergeometric in the seen-counts, which
+    is exactly the distribution of a uniform ``k``-subset of the union.
+    """
+
+    __slots__ = ("capacity", "seen", "items")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR_CAPACITY) -> None:
+        self.capacity = check_positive_int(capacity, "capacity")
+        self.seen = 0
+        self.items: list[float] = []
+
+    def add(self, value: float, rng: np.random.Generator) -> None:
+        """Offer one observation to the reservoir."""
+        value = float(value)
+        self.seen += 1
+        if len(self.items) < self.capacity:
+            self.items.append(value)
+            return
+        slot = int(rng.integers(0, self.seen))
+        if slot < self.capacity:
+            self.items[slot] = value
+
+    def merge(self, other: "ReservoirSample", rng: np.random.Generator) -> None:
+        """Fold another reservoir into this one, preserving uniformity."""
+        if other.capacity != self.capacity:
+            raise ValueError(
+                f"cannot merge reservoirs of capacities {self.capacity} and "
+                f"{other.capacity}"
+            )
+        if other.seen == 0:
+            return
+        if self.seen == 0:
+            self.seen = other.seen
+            self.items = list(other.items)
+            return
+        total = self.seen + other.seen
+        size = min(self.capacity, total)
+        take_self = int(rng.hypergeometric(self.seen, other.seen, size))
+        take_self = min(take_self, len(self.items))
+        take_other = min(size - take_self, len(other.items))
+        picked_self = rng.choice(len(self.items), size=take_self, replace=False)
+        picked_other = rng.choice(len(other.items), size=take_other, replace=False)
+        merged = [self.items[i] for i in sorted(picked_self)]
+        merged += [other.items[i] for i in sorted(picked_other)]
+        self.items = merged
+        self.seen = total
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the reservoir still holds the entire stream."""
+        return self.seen <= self.capacity
+
+    def median(self) -> float:
+        """Median of the reservoir (exact while :attr:`is_exact` holds)."""
+        if not self.items:
+            raise ValueError("cannot take the median of an empty reservoir")
+        return float(np.median(np.asarray(self.items, dtype=np.float64)))
+
+    def to_state(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot."""
+        return {"capacity": self.capacity, "seen": self.seen, "items": list(self.items)}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ReservoirSample":
+        """Rebuild from a :meth:`to_state` snapshot."""
+        reservoir = cls(int(state["capacity"]))
+        reservoir.seen = int(state["seen"])
+        reservoir.items = [float(x) for x in state["items"]]
+        return reservoir
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReservoirSample(capacity={self.capacity}, seen={self.seen}, "
+            f"held={len(self.items)})"
+        )
+
+
+class MetricAccumulator:
+    """Streaming moments plus a reservoir for one metric."""
+
+    __slots__ = ("moments", "reservoir")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR_CAPACITY) -> None:
+        self.moments = StreamingMoments()
+        self.reservoir = ReservoirSample(capacity)
+
+    def add(self, value: float, rng: np.random.Generator) -> None:
+        """Consume one observation."""
+        self.moments.add(value)
+        self.reservoir.add(value, rng)
+
+    def merge(self, other: "MetricAccumulator", rng: np.random.Generator) -> None:
+        """Fold another partial into this one."""
+        self.moments.merge(other.moments)
+        self.reservoir.merge(other.reservoir, rng)
+
+    def summary(self, *, confidence: float = 0.95) -> SummaryStatistics:
+        """Build :class:`SummaryStatistics` from the streamed state.
+
+        Count, mean, std, min and max are exact (Welford); the median comes
+        from the reservoir (exact while the stream fits in it); the CI is the
+        normal approximation from the exact mean/std/count, matching
+        :func:`repro.montecarlo.statistics.normal_confidence_interval`.
+        """
+        moments = self.moments
+        if moments.count == 0:
+            raise ValueError("cannot summarise an empty accumulator")
+        mean = min(max(moments.mean, moments.minimum), moments.maximum)
+        ci_low, ci_high = normal_interval_from_moments(
+            mean, moments.std, moments.count, confidence=confidence
+        )
+        return SummaryStatistics(
+            count=moments.count,
+            mean=mean,
+            std=moments.std,
+            minimum=moments.minimum,
+            maximum=moments.maximum,
+            median=self.reservoir.median(),
+            ci_low=ci_low,
+            ci_high=ci_high,
+        )
+
+    def to_state(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot."""
+        return {"moments": self.moments.to_state(), "reservoir": self.reservoir.to_state()}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "MetricAccumulator":
+        """Rebuild from a :meth:`to_state` snapshot."""
+        accumulator = cls.__new__(cls)
+        accumulator.moments = StreamingMoments.from_state(state["moments"])
+        accumulator.reservoir = ReservoirSample.from_state(state["reservoir"])
+        return accumulator
+
+
+class AccumulatorSet:
+    """One :class:`MetricAccumulator` per metric name."""
+
+    __slots__ = ("capacity", "_metrics")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR_CAPACITY) -> None:
+        self.capacity = check_positive_int(capacity, "capacity")
+        self._metrics: dict[str, MetricAccumulator] = {}
+
+    def add_trial(
+        self, metrics: Mapping[str, float], rng: np.random.Generator
+    ) -> None:
+        """Consume one trial's metric mapping."""
+        for name, value in metrics.items():
+            accumulator = self._metrics.get(name)
+            if accumulator is None:
+                accumulator = self._metrics[name] = MetricAccumulator(self.capacity)
+            accumulator.add(value, rng)
+
+    def merge(self, other: "AccumulatorSet", rng: np.random.Generator) -> None:
+        """Fold another set into this one (union of metric names)."""
+        for name, accumulator in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                self._metrics[name] = MetricAccumulator.from_state(accumulator.to_state())
+            else:
+                mine.merge(accumulator, rng)
+
+    def metric_names(self) -> list[str]:
+        """Sorted metric names seen so far."""
+        return sorted(self._metrics)
+
+    def __getitem__(self, name: str) -> MetricAccumulator:
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def summaries(self, *, confidence: float = 0.95) -> dict[str, SummaryStatistics]:
+        """Per-metric :class:`SummaryStatistics` (insertion order)."""
+        return {
+            name: accumulator.summary(confidence=confidence)
+            for name, accumulator in self._metrics.items()
+        }
+
+    def samples(self) -> dict[str, tuple[float, ...]]:
+        """Per-metric reservoir contents (the full stream while in budget)."""
+        return {
+            name: tuple(accumulator.reservoir.items)
+            for name, accumulator in self._metrics.items()
+        }
+
+    def to_state(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot."""
+        return {
+            "capacity": self.capacity,
+            "metrics": {
+                name: accumulator.to_state()
+                for name, accumulator in self._metrics.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "AccumulatorSet":
+        """Rebuild from a :meth:`to_state` snapshot."""
+        accumulators = cls(int(state["capacity"]))
+        for name, metric_state in state["metrics"].items():
+            accumulators._metrics[name] = MetricAccumulator.from_state(metric_state)
+        return accumulators

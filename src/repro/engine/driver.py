@@ -1,0 +1,225 @@
+"""The engine driver: plan shards, execute them, merge the partials.
+
+:func:`run_sharded` is the single entry point the Monte-Carlo layer calls.
+It owns the determinism contract end to end:
+
+1. the shard plan is a pure function of ``(budget, shard_size)``;
+2. trial ``i`` draws from seed child ``i`` regardless of which shard or
+   worker runs it;
+3. partials are merged in ascending shard index with a dedicated merge
+   stream, no matter in which order workers finish.
+
+Together these make the result — raw per-trial values in ``full`` collection
+mode, streamed moments/reservoirs always — bit-identical across executors,
+worker counts and crash/resume boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from ..exceptions import ConfigurationError
+from ..utils.logging import get_logger
+from ..utils.seeding import SeedLike
+from ..utils.timing import Timer
+from .accumulators import DEFAULT_RESERVOIR_CAPACITY, AccumulatorSet
+from .checkpoint import CheckpointStore
+from .executors import (
+    Executor,
+    ShardResult,
+    ShardTask,
+    ShardWork,
+    resolve_executor,
+)
+from .sharding import SeedPlan, plan_shards
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..montecarlo.experiment import Experiment
+
+__all__ = ["EngineResult", "ProgressCallback", "run_sharded"]
+
+_LOGGER = get_logger("engine.driver")
+
+#: Signature of the progress hook: ``(completed_shards, total_shards,
+#: repetitions_done)``, called after every shard completion (and once up
+#: front when a resume skips already-completed shards).
+ProgressCallback = Callable[[int, int, int], None]
+
+
+def _parameters_digest(parameters: Mapping[str, object]) -> str:
+    """Stable, human-readable identity of a parameter point.
+
+    Part of the checkpoint fingerprint: two runs of the same-named experiment
+    at different parameter points must never share a checkpoint.
+    """
+    return repr(sorted((str(key), repr(value)) for key, value in parameters.items()))
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Merged outcome of a sharded run.
+
+    Attributes
+    ----------
+    repetitions:
+        Total number of trials executed (always the full budget).
+    values:
+        Raw per-trial metric arrays in trial order, or ``None`` in streaming
+        collection mode.
+    accumulators:
+        Streamed moments + reservoir per metric (always present).
+    shards_total / shards_executed / shards_resumed:
+        Shard accounting; ``shards_resumed`` counts shards loaded from a
+        checkpoint instead of executed.
+    """
+
+    repetitions: int
+    values: Mapping[str, tuple[float, ...]] | None
+    accumulators: AccumulatorSet
+    shards_total: int
+    shards_executed: int
+    shards_resumed: int
+
+
+def run_sharded(
+    experiment: "Experiment",
+    *,
+    budget: int,
+    seed: SeedLike = None,
+    executor: Executor | None = None,
+    jobs: int | None = None,
+    shard_size: int | None = None,
+    collect_values: bool = True,
+    reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+    checkpoint_dir: str | os.PathLike[str] | None = None,
+    progress: ProgressCallback | None = None,
+) -> EngineResult:
+    """Execute ``budget`` independent trials of ``experiment`` in shards.
+
+    Parameters
+    ----------
+    experiment:
+        The experiment whose trial function is run once per repetition.
+    budget:
+        Exact number of trials to run.
+    seed:
+        Master seed; see :class:`repro.engine.sharding.SeedPlan` for how the
+        per-trial streams are derived from it.
+    executor / jobs:
+        Execution strategy (see :func:`repro.engine.executors.resolve_executor`).
+    shard_size:
+        Trials per shard; defaults to an even cut into at most
+        :data:`repro.engine.sharding.DEFAULT_MAX_SHARDS` shards.  Part of the
+        determinism fingerprint — change it and streamed statistics may differ
+        in the last ulp (raw values never do).
+    collect_values:
+        When True (default) shards return the raw per-trial metric values and
+        the merged result matches the sequential runner exactly; when False
+        shards ship only O(1) accumulator partials.
+    reservoir_capacity:
+        Per-metric reservoir bound used by the streaming aggregation.
+    checkpoint_dir:
+        Optional directory for crash/resume persistence; completed shards
+        found there (for the *same* run fingerprint) are not re-executed.
+    progress:
+        Optional :data:`ProgressCallback` hook.
+    """
+    if checkpoint_dir is not None and seed is None:
+        raise ConfigurationError(
+            "checkpoint_dir requires an explicit master seed: with seed=None "
+            "every process start draws fresh OS entropy, so a resumed run "
+            "could never reproduce the checkpointed trial streams"
+        )
+    shards = plan_shards(budget, shard_size=shard_size)
+    seeds = SeedPlan(seed, budget, len(shards))
+    chosen = resolve_executor(executor, jobs)
+    task = ShardTask(
+        experiment=experiment,
+        collect_values=collect_values,
+        reservoir_capacity=reservoir_capacity,
+    )
+
+    completed: dict[int, ShardResult] = {}
+    store: CheckpointStore | None = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        completed = store.initialize(
+            {
+                "experiment": experiment.name,
+                "parameters": _parameters_digest(experiment.parameters),
+                "budget": budget,
+                "shard_size": shards[0].size,
+                "num_shards": len(shards),
+                "collect_values": collect_values,
+                "reservoir_capacity": reservoir_capacity,
+                "seed": seeds.fingerprint(),
+            }
+        )
+
+    resumed = len(completed)
+    pending = [
+        ShardWork(
+            task=task,
+            shard=shard,
+            master_entropy=seeds.entropy,
+            master_spawn_key=seeds.spawn_key,
+            budget=budget,
+        )
+        for shard in shards
+        if shard.index not in completed
+    ]
+
+    done = resumed
+    repetitions_done = sum(result.repetitions for result in completed.values())
+    if progress is not None and resumed:
+        progress(done, len(shards), repetitions_done)
+
+    with Timer(experiment.name) as timer:
+        for result in chosen.map_shards(pending):
+            completed[result.index] = result
+            if store is not None:
+                store.save(result)
+            done += 1
+            repetitions_done += result.repetitions
+            if progress is not None:
+                progress(done, len(shards), repetitions_done)
+    _LOGGER.debug(
+        "experiment %s: %d shard(s) (%d resumed) on %r in %s",
+        experiment.name,
+        len(shards),
+        resumed,
+        chosen,
+        timer,
+    )
+
+    # Merge in ascending shard index — never in completion order.
+    merge_rng = seeds.merge_rng()
+    accumulators = AccumulatorSet(reservoir_capacity)
+    values: dict[str, list[float]] | None = {} if collect_values else None
+    repetitions = 0
+    for shard in shards:
+        result = completed[shard.index]
+        accumulators.merge(AccumulatorSet.from_state(result.accumulator_state), merge_rng)
+        repetitions += result.repetitions
+        if values is not None:
+            if result.values is None:
+                raise ValueError(
+                    f"shard {shard.index} carries no raw values; it was likely "
+                    "checkpointed with collect_values=False"
+                )
+            for name, column in result.values.items():
+                values.setdefault(name, []).extend(column)
+    return EngineResult(
+        repetitions=repetitions,
+        values=(
+            {name: tuple(column) for name, column in values.items()}
+            if values is not None
+            else None
+        ),
+        accumulators=accumulators,
+        shards_total=len(shards),
+        shards_executed=len(shards) - resumed,
+        shards_resumed=resumed,
+    )

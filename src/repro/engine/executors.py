@@ -1,0 +1,301 @@
+"""Executors: where the shards of a Monte-Carlo run actually execute.
+
+The engine driver plans shards and merges partials; *how* the shards run is
+delegated to an :class:`Executor`:
+
+* :class:`SerialExecutor` — runs shards in-process, in index order.  This is
+  the cross-validation reference: every other executor must reproduce its
+  results bit for bit (see ``docs/parallel_engine.md``).
+* :class:`MultiprocessExecutor` — fans shards out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Results are yielded in
+  completion order; determinism is preserved because the driver merges by
+  shard index, not by arrival.
+
+Workers receive a picklable :class:`ShardWork` (experiment + seed sequences)
+and return a :class:`ShardResult` whose payload is plain JSON-able data —
+the same representation the checkpoint store persists.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.validation import check_positive_int
+from .accumulators import DEFAULT_RESERVOIR_CAPACITY, AccumulatorSet
+from .sharding import Shard, spawned_child
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..montecarlo.experiment import Experiment
+
+__all__ = [
+    "ShardTask",
+    "ShardWork",
+    "ShardResult",
+    "execute_shard",
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "resolve_executor",
+]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Run-wide work description shared by every shard.
+
+    ``experiment.trial`` must be picklable (a module-level function) for the
+    multiprocess executor; the synthetic closures used in unit tests only work
+    with the serial executor.
+    """
+
+    experiment: "Experiment"
+    collect_values: bool = True
+    reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY
+
+
+@dataclass(frozen=True)
+class ShardWork:
+    """One schedulable unit: a shard plus the master-seed identity.
+
+    Workers reconstruct their per-trial streams from ``(master_entropy,
+    master_spawn_key)`` via :func:`repro.engine.sharding.spawned_child`, so
+    the payload shipped per shard is O(1) in both the shard size and the
+    total budget.
+    """
+
+    task: ShardTask
+    shard: Shard
+    master_entropy: object
+    master_spawn_key: tuple[int, ...]
+    budget: int
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """O(1)-sized partial result of one shard.
+
+    ``values`` holds the raw per-trial metric arrays only when the task asked
+    for them (``collect_values=True``); the streaming path ships just the
+    accumulator state.
+    """
+
+    index: int
+    start: int
+    stop: int
+    repetitions: int
+    values: Mapping[str, tuple[float, ...]] | None
+    accumulator_state: Mapping[str, Any]
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable representation (the checkpoint on-disk format)."""
+        return {
+            "index": self.index,
+            "start": self.start,
+            "stop": self.stop,
+            "repetitions": self.repetitions,
+            "values": (
+                {name: list(column) for name, column in self.values.items()}
+                if self.values is not None
+                else None
+            ),
+            "accumulators": dict(self.accumulator_state),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ShardResult":
+        """Rebuild from a :meth:`to_payload` dictionary."""
+        raw_values = payload["values"]
+        return cls(
+            index=int(payload["index"]),
+            start=int(payload["start"]),
+            stop=int(payload["stop"]),
+            repetitions=int(payload["repetitions"]),
+            values=(
+                {
+                    name: tuple(float(x) for x in column)
+                    for name, column in raw_values.items()
+                }
+                if raw_values is not None
+                else None
+            ),
+            accumulator_state=payload["accumulators"],
+        )
+
+
+def execute_shard(work: ShardWork) -> ShardResult:
+    """Run every trial of one shard and return its mergeable partial.
+
+    This is the worker entry point for every executor; it is a module-level
+    function so process pools can pickle it.
+    """
+    task = work.task
+    experiment = task.experiment
+    reservoir_rng = np.random.default_rng(
+        spawned_child(
+            work.master_entropy, work.master_spawn_key, work.budget + work.shard.index
+        )
+    )
+    accumulators = AccumulatorSet(task.reservoir_capacity)
+    values: dict[str, list[float]] | None = {} if task.collect_values else None
+    repetitions = 0
+    for trial_index in range(work.shard.start, work.shard.stop):
+        trial_seed = spawned_child(
+            work.master_entropy, work.master_spawn_key, trial_index
+        )
+        metrics = experiment.run_single(np.random.default_rng(trial_seed))
+        accumulators.add_trial(metrics, reservoir_rng)
+        if values is not None:
+            for name, value in metrics.items():
+                values.setdefault(name, []).append(value)
+        repetitions += 1
+    return ShardResult(
+        index=work.shard.index,
+        start=work.shard.start,
+        stop=work.shard.stop,
+        repetitions=repetitions,
+        values=(
+            {name: tuple(column) for name, column in values.items()}
+            if values is not None
+            else None
+        ),
+        accumulator_state=accumulators.to_state(),
+    )
+
+
+class Executor(abc.ABC):
+    """Strategy for executing a batch of shards."""
+
+    @property
+    @abc.abstractmethod
+    def jobs(self) -> int:
+        """Maximum number of shards in flight at once."""
+
+    @abc.abstractmethod
+    def map_shards(self, works: Sequence[ShardWork]) -> Iterator[ShardResult]:
+        """Execute the shards, yielding results as they complete (any order)."""
+
+
+class SerialExecutor(Executor):
+    """In-process execution in shard-index order — the reference executor."""
+
+    @property
+    def jobs(self) -> int:
+        return 1
+
+    def map_shards(self, works: Sequence[ShardWork]) -> Iterator[ShardResult]:
+        for work in works:
+            yield execute_shard(work)
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class MultiprocessExecutor(Executor):
+    """Shard fan-out over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``fork`` where
+        available (Linux) because it avoids re-importing numpy/scipy in every
+        worker; pass ``"spawn"`` explicitly for environments where forking a
+        threaded parent is unsafe.
+    """
+
+    def __init__(self, jobs: int, *, start_method: str | None = None) -> None:
+        self._jobs = check_positive_int(jobs, "jobs")
+        if start_method is None:
+            # fork only where it is actually safe: macOS lists it but forking
+            # a parent with scipy/Accelerate state loaded can abort the child,
+            # which is why CPython made spawn the macOS default.
+            if sys.platform.startswith("linux") and (
+                "fork" in multiprocessing.get_all_start_methods()
+            ):
+                start_method = "fork"
+            else:
+                start_method = multiprocessing.get_start_method()
+        self._start_method = start_method
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method used for worker processes."""
+        return self._start_method
+
+    def map_shards(self, works: Sequence[ShardWork]) -> Iterator[ShardResult]:
+        if not works:
+            return
+        if len(works) == 1 or self._jobs == 1:
+            # No parallelism to exploit; skip the pool entirely.
+            for work in works:
+                yield execute_shard(work)
+            return
+        context = multiprocessing.get_context(self._start_method)
+        workers = min(self._jobs, len(works))
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        try:
+            futures = [pool.submit(execute_shard, work) for work in works]
+            failure: BaseException | None = None
+            for future in as_completed(futures):
+                if future.cancelled():
+                    continue
+                exc = future.exception()
+                if exc is not None:
+                    if failure is None:
+                        failure = exc
+                        # Stop scheduling queued shards; shards already running
+                        # finish and are still yielded below, so the driver can
+                        # checkpoint their work before the failure propagates.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                    continue
+                yield future.result()
+            if failure is not None:
+                raise failure
+        finally:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiprocessExecutor(jobs={self._jobs}, "
+            f"start_method={self._start_method!r})"
+        )
+
+
+def resolve_executor(
+    executor: Executor | None = None, jobs: int | None = None
+) -> Executor:
+    """Normalise the ``(executor, jobs)`` pair every engine entry point accepts.
+
+    Exactly one of the two may be given: an explicit executor wins, ``jobs``
+    larger than 1 builds a :class:`MultiprocessExecutor`, and everything else
+    falls back to the serial reference executor.
+    """
+    if executor is not None:
+        if jobs is not None and jobs != executor.jobs:
+            raise ConfigurationError(
+                f"jobs={jobs} conflicts with the explicit executor "
+                f"({executor!r}); pass one or the other"
+            )
+        return executor
+    if jobs is None:
+        return SerialExecutor()
+    try:
+        jobs = check_positive_int(jobs, "jobs")
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"jobs must be a positive integer, got {jobs!r}") from exc
+    if jobs == 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(jobs)

@@ -20,6 +20,7 @@ __all__ = [
     "ConfigurationError",
     "ConvergenceError",
     "SerializationError",
+    "CheckpointError",
 ]
 
 
@@ -100,3 +101,7 @@ class ConvergenceError(ExperimentError):
 
 class SerializationError(ReproError):
     """Raised when experiment results cannot be persisted or reloaded."""
+
+
+class CheckpointError(SerializationError):
+    """Raised when an engine checkpoint is corrupt or belongs to another run."""

@@ -56,8 +56,15 @@ def trial_er_connectivity(
     }
 
 
-def run(scale: str = "default", *, seed: SeedLike = 2020) -> ExperimentReport:
-    """Run E7 and build its report."""
+def run(
+    scale: str = "default", *, seed: SeedLike = 2020, jobs: int | None = None
+) -> ExperimentReport:
+    """Run E7 and build its report.
+
+    ``jobs=N`` executes the trials of each sweep point on ``N`` worker
+    processes via the parallel engine; the report is bit-identical to a
+    serial run for the same seed.
+    """
     config = SCALES[scale]
     n = int(config["n"])
     sweep = ParameterSweep(
@@ -69,7 +76,7 @@ def run(scale: str = "default", *, seed: SeedLike = 2020) -> ExperimentReport:
         description="Connectivity of G(n, p) around the log n / n threshold",
     )
     runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
+        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed, jobs=jobs
     )
     sweep_result = runner.run_sweep(experiment, sweep)
 

@@ -66,8 +66,15 @@ def trial_temporal_diameter(
     }
 
 
-def run(scale: str = "default", *, seed: SeedLike = 2014) -> ExperimentReport:
-    """Run E1 and build its report."""
+def run(
+    scale: str = "default", *, seed: SeedLike = 2014, jobs: int | None = None
+) -> ExperimentReport:
+    """Run E1 and build its report.
+
+    ``jobs=N`` executes the trials of each sweep point on ``N`` worker
+    processes via the parallel engine; the report is bit-identical to a
+    serial run for the same seed.
+    """
     config = SCALES[scale]
     sweep = ParameterSweep({"n": list(config["sizes"])}, constants={"directed": config["directed"]})
     experiment = Experiment(
@@ -76,7 +83,7 @@ def run(scale: str = "default", *, seed: SeedLike = 2014) -> ExperimentReport:
         description="Temporal diameter of the normalized U-RT clique (Theorem 4)",
     )
     runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
+        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed, jobs=jobs
     )
     sweep_result = runner.run_sweep(experiment, sweep)
 

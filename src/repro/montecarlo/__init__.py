@@ -6,7 +6,9 @@ label assignments; this subpackage provides the machinery to estimate them:
 
 * :class:`Experiment` — a named trial function plus its parameters;
 * :class:`MonteCarloRunner` — runs repeated independent trials with spawned
-  RNG streams and aggregates the metrics;
+  RNG streams and aggregates the metrics; fixed-budget runs execute on the
+  parallel engine (:mod:`repro.engine`), so ``jobs=N`` fans trials out over
+  worker processes with bit-identical results;
 * :mod:`repro.montecarlo.statistics` — summary statistics and confidence
   intervals;
 * :class:`ParameterSweep` — cartesian grids over experiment parameters;

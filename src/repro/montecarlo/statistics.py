@@ -16,6 +16,7 @@ __all__ = [
     "SummaryStatistics",
     "summarize",
     "normal_confidence_interval",
+    "normal_interval_from_moments",
     "bootstrap_confidence_interval",
 ]
 
@@ -50,9 +51,16 @@ class SummaryStatistics:
 
     @property
     def relative_half_width(self) -> float:
-        """Half-width of the CI relative to the absolute mean (inf for mean 0)."""
+        """Half-width of the CI relative to the absolute mean.
+
+        A zero mean makes the ratio undefined; by convention it is ``inf``
+        when the interval has positive width (the estimate genuinely cannot
+        be resolved relative to 0) and ``nan`` for the degenerate case of a
+        zero-width interval around a zero mean (e.g. a single all-zero
+        sample), where "infinitely imprecise" would be misleading.
+        """
         if self.mean == 0.0:
-            return math.inf
+            return math.nan if self.half_width == 0.0 else math.inf
         return self.half_width / abs(self.mean)
 
     def as_dict(self) -> dict[str, float]:
@@ -69,6 +77,25 @@ class SummaryStatistics:
         }
 
 
+def normal_interval_from_moments(
+    mean: float, std: float, count: int, *, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation CI for a mean given its sample moments.
+
+    The single home of the CI convention: both the array-based
+    :func:`normal_confidence_interval` and the engine's streaming summaries
+    (:meth:`repro.engine.accumulators.MetricAccumulator.summary`) delegate
+    here.  With fewer than two samples the interval degenerates to the mean.
+    """
+    confidence = check_probability(confidence, "confidence")
+    count = check_positive_int(count, "count")
+    if count == 1:
+        return (mean, mean)
+    sem = std / math.sqrt(count)
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    return (mean - z * sem, mean + z * sem)
+
+
 def normal_confidence_interval(
     values: Sequence[float], *, confidence: float = 0.95
 ) -> tuple[float, float]:
@@ -76,16 +103,14 @@ def normal_confidence_interval(
 
     With fewer than two samples the interval degenerates to the single value.
     """
-    confidence = check_probability(confidence, "confidence")
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ValueError("cannot build a confidence interval from an empty sample")
     mean = float(arr.mean())
-    if arr.size == 1:
-        return (mean, mean)
-    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
-    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
-    return (mean - z * sem, mean + z * sem)
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return normal_interval_from_moments(
+        mean, std, int(arr.size), confidence=confidence
+    )
 
 
 def bootstrap_confidence_interval(
@@ -94,22 +119,35 @@ def bootstrap_confidence_interval(
     confidence: float = 0.95,
     resamples: int = 2000,
     seed: SeedLike = None,
+    rng: np.random.Generator | None = None,
 ) -> tuple[float, float]:
     """Percentile bootstrap confidence interval for the mean of ``values``.
 
     More robust than the normal approximation for the heavily skewed metrics
     (e.g. broadcast times conditioned on success) that show up in the
     experiments.
+
+    ``rng`` accepts an explicit (typically spawned) generator so that
+    parallel shards can bootstrap from their own independent streams without
+    sharing one generator; it is mutually exclusive with ``seed``.
     """
     confidence = check_probability(confidence, "confidence")
     resamples = check_positive_int(resamples, "resamples")
+    if rng is not None:
+        if seed is not None:
+            raise ValueError("pass either seed= or rng=, not both")
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                f"rng must be a numpy.random.Generator, got {type(rng).__name__}"
+            )
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ValueError("cannot bootstrap an empty sample")
     if arr.size == 1:
         value = float(arr[0])
         return (value, value)
-    rng = normalize_rng(seed)
+    if rng is None:
+        rng = normalize_rng(seed)
     indices = rng.integers(0, arr.size, size=(resamples, arr.size))
     means = arr[indices].mean(axis=1)
     alpha = (1.0 - confidence) / 2.0

@@ -37,6 +37,11 @@ def test_readme_python_block_executes(block):
 
 def test_readme_mentions_docs():
     text = README.read_text()
-    for path in ("docs/performance.md", "docs/paper_mapping.md", "examples"):
+    for path in (
+        "docs/performance.md",
+        "docs/paper_mapping.md",
+        "docs/parallel_engine.md",
+        "examples",
+    ):
         assert path in text, f"README should link {path}"
         assert (README.parent / path).exists(), f"README links missing {path}"

@@ -1,0 +1,412 @@
+"""Unit tests for the parallel execution engine (repro.engine)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.accumulators import (
+    AccumulatorSet,
+    MetricAccumulator,
+    ReservoirSample,
+    StreamingMoments,
+)
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.driver import run_sharded
+from repro.engine.executors import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    ShardResult,
+    ShardTask,
+    ShardWork,
+    execute_shard,
+    resolve_executor,
+)
+from repro.engine.sharding import DEFAULT_MAX_SHARDS, SeedPlan, Shard, plan_shards
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.montecarlo.experiment import Experiment
+from repro.montecarlo.statistics import summarize
+from repro.utils.seeding import spawn_rngs
+
+
+def _noise_trial(params, rng):
+    """Module-level trial so the multiprocess executor can pickle it."""
+    return {
+        "noise": float(rng.normal(loc=params.get("mu", 0.0))),
+        "uniform": float(rng.random()),
+    }
+
+
+def _failing_trial(params, rng):
+    """Module-level trial that fails deterministically per trial stream.
+
+    Whether a trial fails depends only on its first uniform draw, so the test
+    can predict exactly which shards die from the seed alone — no shared
+    counters, which would not survive process boundaries.
+    """
+    value = float(rng.random())
+    if value < float(params["threshold"]):
+        raise ValueError("unlucky trial")
+    return {"x": value}
+
+
+class TestStreamingMoments:
+    def test_matches_numpy(self):
+        data = np.random.default_rng(0).exponential(size=257)
+        moments = StreamingMoments()
+        for x in data:
+            moments.add(x)
+        assert moments.count == data.size
+        assert moments.mean == pytest.approx(float(np.mean(data)), rel=1e-12)
+        assert moments.std == pytest.approx(float(np.std(data, ddof=1)), rel=1e-12)
+        assert moments.minimum == float(np.min(data))
+        assert moments.maximum == float(np.max(data))
+
+    def test_merge_equals_single_pass(self):
+        data = np.random.default_rng(1).normal(size=100)
+        whole = StreamingMoments()
+        for x in data:
+            whole.add(x)
+        left, right = StreamingMoments(), StreamingMoments()
+        for x in data[:37]:
+            left.add(x)
+        for x in data[37:]:
+            right.add(x)
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert left.variance == pytest.approx(whole.variance, rel=1e-10)
+        assert left.minimum == whole.minimum and left.maximum == whole.maximum
+
+    def test_merge_with_empty_is_identity(self):
+        moments = StreamingMoments()
+        moments.add(3.0)
+        moments.merge(StreamingMoments())
+        assert moments.count == 1 and moments.mean == 3.0
+        empty = StreamingMoments()
+        empty.merge(moments)
+        assert empty.count == 1 and empty.mean == 3.0
+
+    def test_degenerate_variance(self):
+        moments = StreamingMoments()
+        moments.add(5.0)
+        assert moments.variance == 0.0 and moments.std == 0.0
+
+    def test_state_round_trip(self):
+        moments = StreamingMoments()
+        for x in (1.0, 2.0, 4.0):
+            moments.add(x)
+        restored = StreamingMoments.from_state(moments.to_state())
+        assert restored.to_state() == moments.to_state()
+
+
+class TestReservoirSample:
+    def test_exact_below_capacity(self):
+        reservoir = ReservoirSample(capacity=10)
+        rng = np.random.default_rng(0)
+        for x in (3.0, 1.0, 2.0):
+            reservoir.add(x, rng)
+        assert reservoir.is_exact
+        assert reservoir.items == [3.0, 1.0, 2.0]
+        assert reservoir.median() == 2.0
+
+    def test_bounded_beyond_capacity(self):
+        reservoir = ReservoirSample(capacity=8)
+        rng = np.random.default_rng(1)
+        for x in range(100):
+            reservoir.add(float(x), rng)
+        assert len(reservoir) == 8
+        assert reservoir.seen == 100
+        assert not reservoir.is_exact
+        assert all(0.0 <= x < 100.0 for x in reservoir.items)
+
+    def test_merge_preserves_uniform_sample_size(self):
+        rng = np.random.default_rng(2)
+        a, b = ReservoirSample(capacity=16), ReservoirSample(capacity=16)
+        for x in range(10):
+            a.add(float(x), rng)
+        for x in range(10, 14):
+            b.add(float(x), rng)
+        a.merge(b, rng)
+        assert a.seen == 14
+        assert sorted(a.items) == [float(x) for x in range(14)]  # still exact
+
+    def test_merge_capacity_mismatch_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            ReservoirSample(capacity=4).merge(ReservoirSample(capacity=8), rng)
+
+    def test_empty_median_rejected(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(capacity=4).median()
+
+    def test_state_round_trip(self):
+        reservoir = ReservoirSample(capacity=4)
+        rng = np.random.default_rng(4)
+        for x in range(9):
+            reservoir.add(float(x), rng)
+        restored = ReservoirSample.from_state(reservoir.to_state())
+        assert restored.to_state() == reservoir.to_state()
+
+
+class TestMetricAccumulator:
+    def test_summary_matches_summarize_for_in_budget_stream(self):
+        data = list(np.random.default_rng(5).normal(loc=2.0, size=60))
+        accumulator = MetricAccumulator(capacity=1024)
+        rng = np.random.default_rng(6)
+        for x in data:
+            accumulator.add(x, rng)
+        streamed = accumulator.summary()
+        exact = summarize(data)
+        assert streamed.count == exact.count
+        assert streamed.mean == pytest.approx(exact.mean, rel=1e-12)
+        assert streamed.std == pytest.approx(exact.std, rel=1e-12)
+        assert streamed.minimum == exact.minimum
+        assert streamed.maximum == exact.maximum
+        assert streamed.median == pytest.approx(exact.median)
+        assert streamed.ci_low == pytest.approx(exact.ci_low, rel=1e-9)
+        assert streamed.ci_high == pytest.approx(exact.ci_high, rel=1e-9)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            MetricAccumulator().summary()
+
+
+class TestAccumulatorSet:
+    def test_union_of_metric_names_on_merge(self):
+        rng = np.random.default_rng(7)
+        a, b = AccumulatorSet(capacity=8), AccumulatorSet(capacity=8)
+        a.add_trial({"x": 1.0}, rng)
+        b.add_trial({"y": 2.0}, rng)
+        a.merge(b, rng)
+        assert a.metric_names() == ["x", "y"]
+        assert a["y"].moments.count == 1
+
+    def test_samples_and_state_round_trip(self):
+        rng = np.random.default_rng(8)
+        accumulators = AccumulatorSet(capacity=8)
+        for i in range(5):
+            accumulators.add_trial({"x": float(i)}, rng)
+        assert accumulators.samples() == {"x": (0.0, 1.0, 2.0, 3.0, 4.0)}
+        restored = AccumulatorSet.from_state(accumulators.to_state())
+        assert restored.to_state() == accumulators.to_state()
+
+
+class TestShardPlanning:
+    def test_plan_covers_budget_contiguously(self):
+        shards = plan_shards(53, shard_size=7)
+        assert shards[0].start == 0 and shards[-1].stop == 53
+        for before, after in zip(shards, shards[1:]):
+            assert after.start == before.stop
+        assert sum(shard.size for shard in shards) == 53
+
+    def test_default_plan_bounded(self):
+        assert len(plan_shards(1000)) <= DEFAULT_MAX_SHARDS
+        assert len(plan_shards(3)) == 3  # tiny budgets get one trial per shard
+
+    def test_plan_is_independent_of_nothing_else(self):
+        assert plan_shards(30) == plan_shards(30)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards(0)
+        with pytest.raises(ValueError):
+            plan_shards(10, shard_size=0)
+        with pytest.raises(ValueError):
+            Shard(index=0, start=5, stop=5)
+
+    def test_seed_plan_matches_sequential_spawn(self):
+        plan = plan_shards(12, shard_size=5)
+        seeds = SeedPlan(99, 12, len(plan))
+        sequential = spawn_rngs(99, 12)
+        streams = []
+        for shard in plan:
+            streams.extend(
+                np.random.default_rng(child).random() for child in seeds.trial_seeds(shard)
+            )
+        assert streams == [rng.random() for rng in sequential]
+
+    def test_fingerprint_mentions_entropy(self):
+        plan = SeedPlan(1234, 4, 2)
+        assert "1234" in plan.fingerprint()
+
+    def test_child_reconstruction_matches_spawn(self):
+        # the O(1) lazy derivation must equal SeedSequence.spawn exactly
+        master = np.random.SeedSequence(77)
+        plan = SeedPlan(master, 6, 2)
+        spawned = master.spawn(6)
+        for i in range(6):
+            assert (
+                np.random.default_rng(plan.child(i)).random()
+                == np.random.default_rng(spawned[i]).random()
+            )
+
+
+class TestExecutors:
+    def _works(self, budget=10, shard_size=3, seed=0, mu=1.0):
+        experiment = Experiment(name="noise", trial=_noise_trial, parameters={"mu": mu})
+        shards = plan_shards(budget, shard_size=shard_size)
+        seeds = SeedPlan(seed, budget, len(shards))
+        task = ShardTask(experiment=experiment)
+        return [
+            ShardWork(
+                task=task,
+                shard=shard,
+                master_entropy=seeds.entropy,
+                master_spawn_key=seeds.spawn_key,
+                budget=budget,
+            )
+            for shard in shards
+        ]
+
+    def test_resolve_executor_defaults(self):
+        assert isinstance(resolve_executor(None, None), SerialExecutor)
+        assert isinstance(resolve_executor(None, 1), SerialExecutor)
+        multiprocess = resolve_executor(None, 4)
+        assert isinstance(multiprocess, MultiprocessExecutor)
+        assert multiprocess.jobs == 4
+
+    def test_resolve_executor_conflicts_and_validation(self):
+        with pytest.raises(ConfigurationError):
+            resolve_executor(SerialExecutor(), 4)
+        with pytest.raises(ConfigurationError):
+            resolve_executor(None, 0)
+        with pytest.raises(ConfigurationError):
+            resolve_executor(None, -2)
+        with pytest.raises(ConfigurationError):
+            resolve_executor(None, True)  # bools are not worker counts
+        with pytest.raises(ConfigurationError):
+            resolve_executor(None, 2.5)
+        # jobs matching the explicit executor is allowed
+        executor = MultiprocessExecutor(2)
+        assert resolve_executor(executor, 2) is executor
+
+    def test_multiprocess_yields_completed_shards_before_failure(self):
+        # exactly one trial (the smallest first draw) fails; every other
+        # shard's finished work must still surface before the error propagates
+        draws = [rng.random() for rng in spawn_rngs(0, 8)]
+        threshold = min(draws) + 1e-12
+        experiment = Experiment(
+            name="maybe", trial=_failing_trial, parameters={"threshold": threshold}
+        )
+        shards = plan_shards(8, shard_size=2)
+        bad = {
+            shard.index
+            for shard in shards
+            if any(draws[i] < threshold for i in range(shard.start, shard.stop))
+        }
+        assert len(bad) == 1
+        seeds = SeedPlan(0, 8, len(shards))
+        task = ShardTask(experiment=experiment)
+        works = [
+            ShardWork(
+                task=task,
+                shard=shard,
+                master_entropy=seeds.entropy,
+                master_spawn_key=seeds.spawn_key,
+                budget=8,
+            )
+            for shard in shards
+        ]
+        survivors: list[ShardResult] = []
+        # one worker per shard: nothing is queued, so no shard gets cancelled
+        with pytest.raises(ValueError, match="unlucky trial"):
+            for result in MultiprocessExecutor(len(shards)).map_shards(works):
+                survivors.append(result)
+        assert {result.index for result in survivors} == {
+            shard.index for shard in shards
+        } - bad
+
+    def test_serial_and_multiprocess_agree(self):
+        works = self._works()
+        serial = sorted(SerialExecutor().map_shards(works), key=lambda r: r.index)
+        parallel = sorted(
+            MultiprocessExecutor(3).map_shards(works), key=lambda r: r.index
+        )
+        assert [r.to_payload() for r in serial] == [r.to_payload() for r in parallel]
+
+    def test_shard_result_payload_round_trip(self):
+        works = self._works(budget=4, shard_size=4)
+        result = execute_shard(works[0])
+        clone = ShardResult.from_payload(
+            json.loads(json.dumps(result.to_payload()))
+        )
+        assert clone == result
+
+
+class TestCheckpointStore:
+    def _fingerprint(self, **overrides):
+        fingerprint = {
+            "experiment": "noise",
+            "budget": 10,
+            "shard_size": 3,
+            "num_shards": 4,
+            "collect_values": True,
+            "reservoir_capacity": 1024,
+            "seed": "entropy=0;spawn_key=()",
+        }
+        fingerprint.update(overrides)
+        return fingerprint
+
+    def test_save_and_reload(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        assert store.initialize(self._fingerprint()) == {}
+        works = TestExecutors()._works(budget=10, shard_size=3)
+        result = execute_shard(works[1])
+        store.save(result)
+        reloaded = CheckpointStore(tmp_path / "ckpt").initialize(self._fingerprint())
+        assert set(reloaded) == {1}
+        assert reloaded[1] == result
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.initialize(self._fingerprint())
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path).initialize(self._fingerprint(budget=20))
+
+    def test_corrupt_shard_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.initialize(self._fingerprint())
+        (tmp_path / "shard-0000.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path).initialize(self._fingerprint())
+
+
+class TestRunSharded:
+    def test_progress_hook_sees_every_shard(self):
+        experiment = Experiment(name="noise", trial=_noise_trial)
+        calls: list[tuple[int, int, int]] = []
+        result = run_sharded(
+            experiment,
+            budget=10,
+            seed=0,
+            shard_size=3,
+            progress=lambda done, total, reps: calls.append((done, total, reps)),
+        )
+        assert result.repetitions == 10
+        assert calls[-1] == (4, 4, 10)
+        assert [done for done, _, _ in calls] == [1, 2, 3, 4]
+
+    def test_streaming_mode_drops_raw_values(self):
+        experiment = Experiment(name="noise", trial=_noise_trial)
+        result = run_sharded(experiment, budget=10, seed=0, collect_values=False)
+        assert result.values is None
+        summary = result.accumulators["noise"].summary()
+        assert summary.count == 10
+        assert math.isfinite(summary.mean)
+
+    def test_values_are_in_trial_order(self):
+        experiment = Experiment(name="noise", trial=_noise_trial)
+        result = run_sharded(experiment, budget=9, seed=7, shard_size=2)
+        sequential = [
+            _noise_trial({}, rng)["noise"] for rng in spawn_rngs(7, 9)
+        ]
+        assert list(result.values["noise"]) == sequential
+
+    def test_checkpoint_requires_explicit_seed(self, tmp_path):
+        experiment = Experiment(name="noise", trial=_noise_trial)
+        with pytest.raises(ConfigurationError, match="explicit master seed"):
+            run_sharded(experiment, budget=4, seed=None, checkpoint_dir=tmp_path)

@@ -107,6 +107,41 @@ class TestRunner:
         means = result.metric_means("heads")
         assert means[1] >= means[0]
 
+    def test_streaming_aggregation_summary_matches_full(self):
+        exp = Experiment(name="coin", trial=_coin_trial, parameters={"mu": 2.0})
+        full = run_trials(exp, repetitions=40, seed=9)
+        streaming = run_trials(exp, repetitions=40, seed=9, aggregation="streaming")
+        assert streaming.accumulators is not None
+        for metric in full.metric_names():
+            exact = full.summary(metric)
+            streamed = streaming.summary(metric)
+            assert streamed.count == exact.count
+            assert streamed.mean == pytest.approx(exact.mean, rel=1e-12)
+            assert streamed.std == pytest.approx(exact.std, rel=1e-12)
+            assert streamed.minimum == exact.minimum
+            assert streamed.maximum == exact.maximum
+        # in-budget streams keep the full sample in the reservoir
+        assert streaming.values("noise") == full.values("noise")
+
+    def test_streaming_reservoir_capacity_is_configurable(self):
+        exp = Experiment(name="coin", trial=_coin_trial)
+        small = run_trials(
+            exp, repetitions=40, seed=9, aggregation="streaming", reservoir_capacity=8
+        )
+        assert len(small.values("noise")) == 8
+        assert small.summary("noise").count == 40  # moments stay exact
+
+    def test_progress_hook_reports_repetitions(self):
+        seen: list[tuple[int, int, int]] = []
+        run_trials(
+            Experiment(name="coin", trial=_coin_trial),
+            repetitions=12,
+            seed=0,
+            shard_size=4,
+            progress=lambda done, total, reps: seen.append((done, total, reps)),
+        )
+        assert seen == [(1, 3, 4), (2, 3, 8), (3, 3, 12)]
+
 
 class TestStoppingRules:
     def test_fixed_budget_properties(self):
@@ -160,6 +195,54 @@ class TestSweep:
 
     def test_sweep_grid_helper(self):
         assert len(sweep_grid(n=[4, 8], r=[1, 2, 3])) == 6
+
+    def test_shard_round_trip_union_equals_full_grid(self):
+        sweep = ParameterSweep({"a": [1, 2, 3], "b": [10, 20]}, constants={"c": 7})
+        for k in (1, 2, 3, 5, 6):
+            shards = sweep.shard(k)
+            assert len(shards) == k
+            rebuilt = [point for shard in shards for point in shard.points()]
+            assert rebuilt == list(sweep.points())
+
+    def test_shard_sizes_balanced(self):
+        sweep = ParameterSweep({"a": list(range(7))})
+        sizes = [len(shard) for shard in sweep.shard(3)]
+        assert sorted(sizes) == [2, 2, 3]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_keeps_names_and_constants(self):
+        sweep = ParameterSweep({"a": [1, 2]}, constants={"c": 7})
+        shard = sweep.shard(2)[0]
+        assert shard.parameter_names == ["a"]
+        assert shard.constants == {"c": 7}
+        assert all(point["c"] == 7 for point in shard)
+
+    def test_shard_validation(self):
+        sweep = ParameterSweep({"a": [1, 2, 3]})
+        with pytest.raises(ConfigurationError):
+            sweep.shard(0)
+        with pytest.raises(ConfigurationError):
+            sweep.shard(4)  # more shards than points
+        with pytest.raises(ConfigurationError):
+            sweep.shard("two")
+        with pytest.raises(ConfigurationError):
+            sweep.shard(2.5)  # no silent truncation
+        with pytest.raises(ConfigurationError):
+            sweep.shard(True)
+
+    def test_shard_cannot_be_restricted(self):
+        shard = ParameterSweep({"a": [1, 2]}).shard(2)[0]
+        with pytest.raises(ConfigurationError):
+            shard.restrict(a=[1])
+
+    def test_shards_usable_with_run_sweep(self):
+        runner = MonteCarloRunner(stopping=FixedBudgetStopping(3), seed=0)
+        experiment = Experiment(name="coin", trial=_coin_trial)
+        full = ParameterSweep({"p": [0.1, 0.5, 0.9]})
+        results = [runner.run_sweep(experiment, shard) for shard in full.shard(2)]
+        assert [len(r) for r in results] == [2, 1]
+        assert results[0].column("p") == [0.1, 0.5]
+        assert results[1].column("p") == [0.9]
 
 
 class TestResults:

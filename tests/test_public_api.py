@@ -32,6 +32,7 @@ def test_subpackages_importable():
         "repro.randomness",
         "repro.erdosrenyi",
         "repro.montecarlo",
+        "repro.engine",
         "repro.analysis",
         "repro.io",
         "repro.experiments",
@@ -47,6 +48,7 @@ def test_subpackage_all_exports_resolve():
         "repro.randomness",
         "repro.erdosrenyi",
         "repro.montecarlo",
+        "repro.engine",
         "repro.analysis",
         "repro.io",
         "repro.experiments",

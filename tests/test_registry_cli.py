@@ -19,6 +19,34 @@ class TestCli:
         assert "wrote" in captured.out
         assert "## E7" in output.read_text(encoding="utf-8")
 
+    def test_jobs_flag_gives_identical_report(self, tmp_path, capsys):
+        serial_output = tmp_path / "serial.md"
+        parallel_output = tmp_path / "parallel.md"
+        assert (
+            main(
+                ["--ids", "E7", "--scale", "quick", "--seed", "5",
+                 "--output", str(serial_output), "--quiet"]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["--ids", "E7", "--scale", "quick", "--seed", "5", "--jobs", "2",
+                 "--output", str(parallel_output), "--quiet"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert parallel_output.read_text(encoding="utf-8") == serial_output.read_text(
+            encoding="utf-8"
+        )
+
+    def test_invalid_jobs_rejected(self, capsys):
+        exit_code = main(["--ids", "E7", "--scale", "quick", "--jobs", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error" in captured.err
+
     def test_console_output_not_quiet(self, capsys):
         exit_code = main(["--ids", "E7", "--scale", "quick", "--seed", "5"])
         captured = capsys.readouterr()

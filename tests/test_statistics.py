@@ -43,6 +43,11 @@ class TestSummarize:
         zero_mean = summarize([-1.0, 1.0])
         assert math.isinf(zero_mean.relative_half_width)
 
+    def test_relative_half_width_degenerate_zero_is_nan(self):
+        # zero mean with a zero-width interval: the ratio is undefined, not inf
+        assert math.isnan(summarize([0.0]).relative_half_width)
+        assert math.isnan(summarize([0.0, 0.0, 0.0]).relative_half_width)
+
     def test_as_dict_keys(self):
         record = summarize([1.0, 2.0]).as_dict()
         assert set(record) == {
@@ -106,3 +111,24 @@ class TestBootstrapCI:
         boot_low, boot_high = bootstrap_confidence_interval(data, seed=1)
         assert abs(normal_low - boot_low) < 0.25
         assert abs(normal_high - boot_high) < 0.25
+
+    def test_explicit_rng_path(self):
+        # spawned generators give shards independent, reproducible bootstraps
+        data = [1.0, 5.0, 2.0, 8.0, 3.0]
+        from repro.utils.seeding import spawn_rngs
+
+        first = bootstrap_confidence_interval(data, rng=spawn_rngs(7, 2)[0])
+        again = bootstrap_confidence_interval(data, rng=spawn_rngs(7, 2)[0])
+        other = bootstrap_confidence_interval(data, rng=spawn_rngs(7, 2)[1])
+        assert first == again
+        assert first != other
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(
+                [1.0, 2.0], seed=1, rng=np.random.default_rng(2)
+            )
+
+    def test_rng_must_be_generator(self):
+        with pytest.raises(TypeError):
+            bootstrap_confidence_interval([1.0, 2.0], rng=123)
