@@ -16,8 +16,8 @@ True
 
 The public API re-exports the most commonly used pieces; the subpackages
 (:mod:`repro.core`, :mod:`repro.graphs`, :mod:`repro.montecarlo`,
-:mod:`repro.engine`, :mod:`repro.analysis`, :mod:`repro.experiments`, …)
-expose the full surface.
+:mod:`repro.engine`, :mod:`repro.scenarios`, :mod:`repro.analysis`,
+:mod:`repro.experiments`, …) expose the full surface.
 """
 
 from ._version import __version__
@@ -87,6 +87,17 @@ from .montecarlo import (
     summarize,
 )
 from .engine import MultiprocessExecutor, SerialExecutor, run_sharded
+from .scenarios import (
+    GraphFamilySpec,
+    LabelModelSpec,
+    MetricSuite,
+    Scenario,
+    ScenarioRun,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
 from .experiments import run_experiments, write_experiments_markdown
 
 __all__ = [
@@ -160,6 +171,16 @@ __all__ = [
     "SerialExecutor",
     "MultiprocessExecutor",
     "run_sharded",
+    # declarative scenarios
+    "GraphFamilySpec",
+    "LabelModelSpec",
+    "MetricSuite",
+    "Scenario",
+    "ScenarioRun",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
     # experiments
     "run_experiments",
     "write_experiments_markdown",

@@ -20,6 +20,14 @@ Internally the class keeps three synchronized representations:
   :func:`repro.core.journeys.earliest_arrival_matrix`.  The cache means the
   ``O(A log A)`` sort is paid once per network, not once per sweep; it is
   safe because the label data is immutable after construction.
+
+Random label models sample a dense ``(m, r)`` label matrix and go through
+:meth:`TemporalGraph.from_label_matrix`, which builds the time-arc arrays with
+vectorised numpy operations and defers the per-edge tuple view until an
+API-level query actually asks for it.  Both constructors produce identical
+networks — same time-arc arrays, same CSR layout, same label tuples — so every
+kernel and every Monte-Carlo result is bit-for-bit independent of which path
+built the instance (``tests/test_labeling.py`` pins this).
 """
 
 from __future__ import annotations
@@ -65,6 +73,8 @@ class TemporalGraph:
         "_graph",
         "_lifetime",
         "_edge_labels",
+        "_el_edge_index",
+        "_el_labels",
         "_ta_tails",
         "_ta_heads",
         "_ta_labels",
@@ -81,6 +91,8 @@ class TemporalGraph:
     ) -> None:
         self._graph = graph
         self._edge_labels = self._normalise_labels(graph, labels)
+        self._el_edge_index = None
+        self._el_labels = None
 
         max_label = 0
         for edge_labels in self._edge_labels:
@@ -94,6 +106,117 @@ class TemporalGraph:
 
         self._build_time_arcs()
         self._timearc_csr = None
+
+    @classmethod
+    def from_label_matrix(
+        cls,
+        graph: StaticGraph,
+        label_matrix: np.ndarray,
+        *,
+        lifetime: int | None = None,
+    ) -> "TemporalGraph":
+        """Build a temporal network from a dense ``(m, r)`` label draw matrix.
+
+        This is the vectorised fast path used by the random label models:
+        row ``i`` of ``label_matrix`` holds the ``r`` (possibly duplicate)
+        labels drawn for canonical edge ``i``.  Duplicates are collapsed —
+        only the label *set* matters for journeys — and the flat time-arc
+        arrays are produced with array operations instead of the per-edge
+        Python loop of the mapping constructor.  The per-edge tuple view
+        (:meth:`labels_of` and friends) is materialised lazily on first use.
+
+        The resulting network is indistinguishable from
+        ``TemporalGraph(graph, [tuple(sorted(set(row))) for row in matrix])``:
+        identical time-arc arrays (same order), identical CSR layout,
+        identical label tuples, so kernels and Monte-Carlo pipelines are
+        bit-compatible across the two construction paths.
+
+        Parameters
+        ----------
+        graph:
+            The underlying static (di)graph.
+        label_matrix:
+            Integer array of shape ``(m, r)`` (or ``(m,)`` for one label per
+            edge); every entry must lie in ``[1, lifetime]``.
+        lifetime:
+            The lifetime ``a``; defaults to the largest drawn label (or
+            ``graph.n`` when the matrix is empty).
+        """
+        matrix = np.asarray(label_matrix, dtype=np.int64)
+        if matrix.ndim == 1:
+            matrix = matrix[:, np.newaxis]
+        if matrix.ndim != 2 or matrix.shape[0] != graph.m:
+            raise LabelingError(
+                f"expected a label matrix with one row per edge ({graph.m} "
+                f"edges), got shape {matrix.shape!r}"
+            )
+        max_label = 0
+        if matrix.size:
+            min_label = int(matrix.min())
+            if min_label < 1:
+                raise LabelingError(
+                    f"labels must be positive integers, got {min_label}"
+                )
+            max_label = int(matrix.max())
+        if lifetime is None:
+            lifetime = max_label if max_label > 0 else max(graph.n, 1)
+        lifetime = check_positive_int(lifetime, "lifetime")
+        if max_label > lifetime:
+            raise LifetimeError(max_label, lifetime)
+
+        # Collapse duplicate draws per edge.  Encoding (edge, label) pairs as
+        # edge·(a+1)+label keeps np.unique sorting them by edge then label —
+        # exactly the enumeration order of the mapping constructor's loops.
+        m, r = matrix.shape
+        keys = np.unique(
+            np.repeat(np.arange(m, dtype=np.int64), r) * np.int64(lifetime + 1)
+            + matrix.ravel()
+        )
+        el_edges = keys // np.int64(lifetime + 1)
+        el_labels = keys - el_edges * np.int64(lifetime + 1)
+
+        pairs = graph.edge_pairs
+        u = pairs[el_edges, 0] if el_edges.size else np.empty(0, np.int64)
+        v = pairs[el_edges, 1] if el_edges.size else np.empty(0, np.int64)
+
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._lifetime = lifetime
+        self._edge_labels = None
+        self._el_edge_index = el_edges
+        self._el_labels = el_labels
+        if graph.directed:
+            self._ta_tails = u
+            self._ta_heads = v
+            self._ta_labels = el_labels
+            self._ta_edge_index = el_edges
+        else:
+            # Interleave the two arc directions of every undirected edge so
+            # the arrays match the mapping constructor entry for entry.
+            self._ta_tails = np.stack([u, v], axis=1).ravel()
+            self._ta_heads = np.stack([v, u], axis=1).ravel()
+            self._ta_labels = np.repeat(el_labels, 2)
+            self._ta_edge_index = np.repeat(el_edges, 2)
+        self._timearc_csr = None
+        return self
+
+    def _edge_label_tuples(self) -> list[tuple[int, ...]]:
+        """Per-edge sorted label tuples, materialised on demand.
+
+        The mapping constructor builds this list eagerly; the
+        :meth:`from_label_matrix` fast path defers it until an API-level
+        query needs per-edge tuples, keeping the Monte-Carlo hot loop (which
+        only touches the flat arrays and the CSR) free of per-edge Python
+        work.
+        """
+        if self._edge_labels is None:
+            if self.m == 0:
+                self._edge_labels = []
+            else:
+                counts = np.bincount(self._el_edge_index, minlength=self.m)
+                chunks = np.split(self._el_labels, np.cumsum(counts)[:-1])
+                self._edge_labels = [tuple(chunk.tolist()) for chunk in chunks]
+        return self._edge_labels
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -192,6 +315,8 @@ class TemporalGraph:
     @property
     def total_labels(self) -> int:
         """Total number of labels over all edges: ``Σ_e |L_e|`` (the paper's cost)."""
+        if self._edge_labels is None:
+            return int(self._el_labels.size)
         return int(sum(len(labels) for labels in self._edge_labels))
 
     @property
@@ -254,7 +379,7 @@ class TemporalGraph:
             raise LabelingError(
                 f"edge index {edge_index} out of range for a graph with {self.m} edges"
             )
-        return self._edge_labels[edge_index]
+        return self._edge_label_tuples()[edge_index]
 
     def labels_of(self, u: int, v: int) -> tuple[int, ...]:
         """Labels of the edge ``{u, v}`` (or arc ``(u, v)`` for digraphs)."""
@@ -262,16 +387,18 @@ class TemporalGraph:
             index = self._graph.edge_index(u, v)
         except InvalidEdgeError:
             raise
-        return self._edge_labels[index]
+        return self._edge_label_tuples()[index]
 
     def label_count_per_edge(self) -> np.ndarray:
         """Number of labels on each canonical edge, as an ``int64`` array."""
+        if self._edge_labels is None:
+            return np.bincount(self._el_edge_index, minlength=self.m).astype(np.int64)
         return np.asarray([len(labels) for labels in self._edge_labels], dtype=np.int64)
 
     def edge_label_items(self) -> Iterator[tuple[tuple[int, int], tuple[int, ...]]]:
         """Iterate over ``((u, v), labels)`` pairs for every canonical edge."""
         pairs = self._graph.edge_pairs
-        for index, labels in enumerate(self._edge_labels):
+        for index, labels in enumerate(self._edge_label_tuples()):
             yield (int(pairs[index, 0]), int(pairs[index, 1])), labels
 
     def time_edges(self) -> Iterator[TimeEdge]:
@@ -298,18 +425,18 @@ class TemporalGraph:
         max_label = check_positive_int(max_label, "max_label")
         new_labels = [
             tuple(label for label in labels if label <= max_label)
-            for labels in self._edge_labels
+            for labels in self._edge_label_tuples()
         ]
         return TemporalGraph(self._graph, new_labels, lifetime=self._lifetime)
 
     def with_lifetime(self, lifetime: int) -> "TemporalGraph":
         """Return a copy with a different declared lifetime (labels unchanged)."""
-        return TemporalGraph(self._graph, list(self._edge_labels), lifetime=lifetime)
+        return TemporalGraph(self._graph, list(self._edge_label_tuples()), lifetime=lifetime)
 
     def underlying_edges_with_labels(self) -> StaticGraph:
         """Static graph keeping only the edges that received at least one label."""
         pairs = self._graph.edge_pairs
-        keep = [i for i, labels in enumerate(self._edge_labels) if labels]
+        keep = [i for i, labels in enumerate(self._edge_label_tuples()) if labels]
         edges = [tuple(pairs[i]) for i in keep]
         return StaticGraph(
             self.n,
@@ -333,8 +460,8 @@ class TemporalGraph:
         return (
             self._graph == other._graph
             and self._lifetime == other._lifetime
-            and self._edge_labels == other._edge_labels
+            and self._edge_label_tuples() == other._edge_label_tuples()
         )
 
     def __hash__(self) -> int:
-        return hash((self._graph, self._lifetime, tuple(self._edge_labels)))
+        return hash((self._graph, self._lifetime, tuple(self._edge_label_tuples())))

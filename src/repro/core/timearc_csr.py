@@ -33,7 +33,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .temporal_graph import TemporalGraph
 
-__all__ = ["TimeArcCSR", "build_timearc_csr"]
+__all__ = ["TimeArcCSR", "build_timearc_csr", "build_timearc_csr_from_arrays"]
 
 
 def _readonly(array: np.ndarray) -> np.ndarray:
@@ -156,13 +156,38 @@ def build_timearc_csr(network: "TemporalGraph") -> TimeArcCSR:
     TimeArcCSR
         The immutable CSR structure (all arrays read-only).
     """
-    raw_labels = network.time_arc_labels
+    return build_timearc_csr_from_arrays(
+        network.n,
+        network.lifetime,
+        network.time_arc_tails,
+        network.time_arc_heads,
+        network.time_arc_labels,
+        network.time_arc_edge_index,
+    )
+
+
+def build_timearc_csr_from_arrays(
+    n: int,
+    lifetime: int,
+    raw_tails: np.ndarray,
+    raw_heads: np.ndarray,
+    raw_labels: np.ndarray,
+    raw_edge_index: np.ndarray,
+) -> TimeArcCSR:
+    """Build the label-grouped CSR layout from flat time-arc arrays.
+
+    Array-level entry point shared by :func:`build_timearc_csr` and callers
+    that already hold vectorised time-arc columns (e.g. the direct-to-CSR
+    label-sampling fast path) and do not need a full
+    :class:`~repro.core.temporal_graph.TemporalGraph` first.  The four input
+    columns must be parallel ``int64`` arrays of equal length.
+    """
     num_arcs = int(raw_labels.size)
     if num_arcs == 0:
         empty = _readonly(np.empty(0, dtype=np.int64))
         return TimeArcCSR(
-            n=network.n,
-            lifetime=network.lifetime,
+            n=n,
+            lifetime=lifetime,
             labels=empty,
             arc_offsets=_readonly(np.zeros(1, dtype=np.int64)),
             tails=empty,
@@ -174,11 +199,11 @@ def build_timearc_csr(network: "TemporalGraph") -> TimeArcCSR:
             head_starts=empty,
         )
 
-    order = np.lexsort((network.time_arc_heads, raw_labels))
+    order = np.lexsort((raw_heads, raw_labels))
     labels = raw_labels[order]
-    tails = network.time_arc_tails[order]
-    heads = network.time_arc_heads[order]
-    edge_index = network.time_arc_edge_index[order]
+    tails = raw_tails[order]
+    heads = raw_heads[order]
+    edge_index = raw_edge_index[order]
 
     unique_labels, group_starts = np.unique(labels, return_index=True)
     arc_offsets = np.append(group_starts, num_arcs).astype(np.int64)
@@ -195,8 +220,8 @@ def build_timearc_csr(network: "TemporalGraph") -> TimeArcCSR:
     head_starts = head_starts_abs - np.repeat(arc_offsets[:-1], heads_per_group)
 
     return TimeArcCSR(
-        n=network.n,
-        lifetime=network.lifetime,
+        n=n,
+        lifetime=lifetime,
         labels=_readonly(unique_labels.astype(np.int64)),
         arc_offsets=_readonly(arc_offsets),
         tails=_readonly(tails),

@@ -6,77 +6,48 @@ clique.  The paper's §1.1 contrasts this with the classic random phone-call
 push protocol, which also takes ``Θ(log n)`` rounds but relies on *protocol*
 randomness, whereas here randomness lives entirely in the input labels.
 
-The experiment sweeps ``n`` and reports the flooding broadcast time next to
-``log n``, the direct-wait baseline ``n/2`` and the phone-call push rounds.
+The workload is the declarative scenario ``"E4"`` (clique × normalized U-RTN
+× flood-vs-phone-call metric); this module runs it through the generic
+pipeline and reports the flooding broadcast time next to ``log n``, the
+direct-wait baseline ``n/2`` and the phone-call push rounds.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping
-
-import numpy as np
+from typing import Any
 
 from ..analysis.bounds import expected_direct_wait, phone_call_rounds_prediction
 from ..analysis.comparison import ComparisonRow
 from ..analysis.fitting import fit_log_model
-from ..core.dissemination import flood_broadcast, push_phone_call_broadcast
-from ..core.labeling import normalized_urtn
-from ..graphs.generators import complete_graph
-from ..montecarlo.experiment import Experiment
-from ..montecarlo.runner import MonteCarloRunner
-from ..montecarlo.convergence import FixedBudgetStopping
-from ..montecarlo.sweep import ParameterSweep
-from ..types import UNREACHABLE
+from ..scenarios import ScenarioRun, ScenarioTrial, get_scenario, run_scenario
+from ..scenarios.library import E4_SCALES as SCALES
 from ..utils.seeding import SeedLike
 from .reporting import ExperimentReport
 
-__all__ = ["trial_dissemination", "run", "SCALES"]
+__all__ = ["trial_dissemination", "run", "build_report", "SCALES"]
 
-SCALES: dict[str, dict[str, Any]] = {
-    "quick": {"sizes": (16, 32, 64), "repetitions": 5, "directed": True},
-    "default": {"sizes": (16, 32, 64, 128, 256), "repetitions": 15, "directed": True},
-    "full": {"sizes": (32, 64, 128, 256, 512, 1024), "repetitions": 25, "directed": True},
-}
+#: The scenario's trial function (picklable; usable with Experiment directly).
+trial_dissemination = ScenarioTrial(get_scenario("E4"))
 
 
-def trial_dissemination(
-    params: Mapping[str, Any], rng: np.random.Generator
-) -> dict[str, float]:
-    """One trial: flooding on a fresh U-RT clique plus the phone-call baseline."""
-    n = int(params["n"])
-    directed = bool(params.get("directed", True))
-    clique = complete_graph(n, directed=directed)
-    network = normalized_urtn(clique, seed=rng)
-    source = int(rng.integers(0, n))
-    flood = flood_broadcast(network, source)
-    phone = push_phone_call_broadcast(n, source=source, seed=rng)
-    metrics: dict[str, float] = {
-        "flood_completed": 1.0 if flood.completed else 0.0,
-        "flood_transmissions": float(flood.num_transmissions),
-        "phone_rounds": float(phone.broadcast_time if phone.completed else UNREACHABLE),
-        "phone_transmissions": float(phone.num_transmissions),
-    }
-    if flood.completed:
-        metrics["flood_broadcast_time"] = float(flood.broadcast_time)
-    return metrics
+def run(
+    scale: str = "default", *, seed: SeedLike = 2017, jobs: int | None = None
+) -> ExperimentReport:
+    """Run E4 through the scenario pipeline and build its report.
 
-
-def run(scale: str = "default", *, seed: SeedLike = 2017) -> ExperimentReport:
-    """Run E4 and build its report."""
-    config = SCALES[scale]
-    sweep = ParameterSweep(
-        {"n": list(config["sizes"])}, constants={"directed": config["directed"]}
+    ``jobs=N`` fans the trials of each sweep point out over ``N`` worker
+    processes; the report is bit-identical to a serial run for the same seed.
+    """
+    return build_report(
+        run_scenario(get_scenario("E4"), scale=scale, seed=seed, jobs=jobs)
     )
-    experiment = Experiment(
-        name="E4-dissemination",
-        trial=trial_dissemination,
-        description="Flooding broadcast time on the hostile clique (§3.5)",
-    )
-    runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
-    )
-    sweep_result = runner.run_sweep(experiment, sweep)
+
+
+def build_report(result: ScenarioRun) -> ExperimentReport:
+    """Turn an E4 scenario run into the paper-vs-measured report."""
+    scale = result.scale
+    sweep_result = result.sweep
 
     records: list[dict[str, Any]] = []
     sizes: list[float] = []

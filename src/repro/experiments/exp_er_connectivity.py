@@ -2,83 +2,51 @@
 
 Both lower bounds of the paper (the Remark after Theorem 4 and Theorem 5)
 rest on the classical fact that ``G(n, p)`` is disconnected whp when
-``p`` is below ``log n / n`` and connected whp above it.  This experiment
-validates that substrate: it sweeps ``p`` as a multiple of the critical value
-and measures the connectivity probability and the giant-component fraction.
+``p`` is below ``log n / n`` and connected whp above it.  The workload is the
+declarative scenario ``"E7"`` (no graph family, no label model — the
+``er_connectivity`` metric samples raw ``G(n, p)`` edge arrays itself); this
+module runs it through the generic pipeline, sweeping ``p`` as a multiple of
+the critical value and measuring the connectivity probability and the
+giant-component fraction.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping
-
-import numpy as np
+from typing import Any
 
 from ..analysis.comparison import ComparisonRow
 from ..analysis.thresholds import estimate_probability_threshold
-from ..erdosrenyi.gnp import giant_component_fraction, is_gnp_connected, sample_gnp_edges
-from ..erdosrenyi.thresholds import critical_probability
-from ..montecarlo.experiment import Experiment
-from ..montecarlo.runner import MonteCarloRunner
-from ..montecarlo.convergence import FixedBudgetStopping
-from ..montecarlo.sweep import ParameterSweep
+from ..scenarios import ScenarioRun, ScenarioTrial, get_scenario, run_scenario
+from ..scenarios.library import E7_SCALES as SCALES
 from ..utils.seeding import SeedLike
 from .reporting import ExperimentReport
 
-__all__ = ["trial_er_connectivity", "run", "SCALES"]
+__all__ = ["trial_er_connectivity", "run", "build_report", "SCALES"]
 
-SCALES: dict[str, dict[str, Any]] = {
-    "quick": {"n": 64, "multipliers": (0.25, 0.5, 1.0, 1.5, 2.0), "repetitions": 20},
-    "default": {
-        "n": 256,
-        "multipliers": (0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0),
-        "repetitions": 40,
-    },
-    "full": {
-        "n": 1024,
-        "multipliers": (0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0),
-        "repetitions": 60,
-    },
-}
-
-
-def trial_er_connectivity(
-    params: Mapping[str, Any], rng: np.random.Generator
-) -> dict[str, float]:
-    """One trial: sample G(n, p) at p = multiplier·log n/n and test connectivity."""
-    n = int(params["n"])
-    multiplier = float(params["multiplier"])
-    p = min(1.0, multiplier * critical_probability(n))
-    edges_u, edges_v = sample_gnp_edges(n, p, seed=rng)
-    return {
-        "connected": 1.0 if is_gnp_connected(n, edges_u, edges_v) else 0.0,
-        "giant_fraction": giant_component_fraction(n, edges_u, edges_v),
-        "p": p,
-    }
+#: The scenario's trial function (picklable; usable with Experiment directly).
+trial_er_connectivity = ScenarioTrial(get_scenario("E7"))
 
 
 def run(
     scale: str = "default", *, seed: SeedLike = 2020, jobs: int | None = None
 ) -> ExperimentReport:
-    """Run E7 and build its report.
+    """Run E7 through the scenario pipeline and build its report.
 
     ``jobs=N`` executes the trials of each sweep point on ``N`` worker
     processes via the parallel engine; the report is bit-identical to a
     serial run for the same seed.
     """
+    return build_report(
+        run_scenario(get_scenario("E7"), scale=scale, seed=seed, jobs=jobs)
+    )
+
+
+def build_report(result: ScenarioRun) -> ExperimentReport:
+    """Turn an E7 scenario run into the paper-vs-measured report."""
+    scale = result.scale
     config = SCALES[scale]
     n = int(config["n"])
-    sweep = ParameterSweep(
-        {"multiplier": [float(m) for m in config["multipliers"]]}, constants={"n": n}
-    )
-    experiment = Experiment(
-        name="E7-er-connectivity",
-        trial=trial_er_connectivity,
-        description="Connectivity of G(n, p) around the log n / n threshold",
-    )
-    runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed, jobs=jobs
-    )
-    sweep_result = runner.run_sweep(experiment, sweep)
+    sweep_result = result.sweep
 
     records: list[dict[str, Any]] = []
     multipliers: list[float] = []

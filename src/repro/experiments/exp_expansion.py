@@ -5,7 +5,9 @@ frontiers out of ``s`` and into ``t`` and links them with a single matching
 edge, giving an explicit journey of arrival time ``≤ 3c₁·log n + 2d·c₂``.
 Theorem 3 says the construction succeeds with probability ``1 − O(n⁻³)``.
 
-The experiment measures, per ``n``:
+The workload is the declarative scenario ``"E3"`` (clique × normalized U-RTN
+× expansion-process metric); this module runs it through the generic
+pipeline and reports, per ``n``:
 
 * the success probability of the construction,
 * the arrival time of the constructed journey versus the analytic time bound
@@ -17,55 +19,23 @@ The experiment measures, per ``n``:
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping
+from typing import Any
 
 import numpy as np
 
 from ..analysis.comparison import ComparisonRow
 from ..core.expansion import ExpansionParameters, expansion_process
-from ..core.journeys import temporal_distance
 from ..core.labeling import normalized_urtn
 from ..graphs.generators import complete_graph
-from ..montecarlo.experiment import Experiment
-from ..montecarlo.runner import MonteCarloRunner
-from ..montecarlo.convergence import FixedBudgetStopping
-from ..montecarlo.sweep import ParameterSweep
+from ..scenarios import ScenarioRun, ScenarioTrial, get_scenario, run_scenario
+from ..scenarios.library import E3_SCALES as SCALES
 from ..utils.seeding import SeedLike
 from .reporting import ExperimentReport
 
-__all__ = ["trial_expansion", "run", "SCALES"]
+__all__ = ["trial_expansion", "run", "build_report", "SCALES"]
 
-SCALES: dict[str, dict[str, Any]] = {
-    "quick": {"sizes": (64, 128), "repetitions": 5, "c1": 3.0, "c2": 8.0},
-    "default": {"sizes": (64, 128, 256), "repetitions": 15, "c1": 3.0, "c2": 8.0},
-    "full": {"sizes": (64, 128, 256, 512), "repetitions": 25, "c1": 3.0, "c2": 8.0},
-}
-
-
-def trial_expansion(params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, float]:
-    """One trial: run Algorithm 1 between a random vertex pair of a fresh instance."""
-    n = int(params["n"])
-    parameters = ExpansionParameters.suggest(
-        n, c1=float(params.get("c1", 3.0)), c2=float(params.get("c2", 8.0))
-    )
-    clique = complete_graph(n, directed=True)
-    network = normalized_urtn(clique, seed=rng)
-    source, target = rng.choice(n, size=2, replace=False)
-    result = expansion_process(network, int(source), int(target), parameters)
-    metrics: dict[str, float] = {
-        "success": 1.0 if result.success else 0.0,
-        "time_bound": result.time_bound,
-        "final_forward_layer": float(result.forward_layer_sizes[-1]),
-        "final_backward_layer": float(result.backward_layer_sizes[-1]),
-        "sqrt_n": math.sqrt(n),
-    }
-    if result.success and result.journey is not None:
-        metrics["arrival_time"] = float(result.arrival_time)
-        metrics["journey_hops"] = float(result.journey.hops)
-        metrics["optimal_arrival"] = float(
-            temporal_distance(network, int(source), int(target))
-        )
-    return metrics
+#: The scenario's trial function (picklable; usable with Experiment directly).
+trial_expansion = ScenarioTrial(get_scenario("E3"))
 
 
 def _layer_trace(n: int, c1: float, c2: float, seed: SeedLike) -> list[dict[str, Any]]:
@@ -83,22 +53,24 @@ def _layer_trace(n: int, c1: float, c2: float, seed: SeedLike) -> list[dict[str,
     return trace
 
 
-def run(scale: str = "default", *, seed: SeedLike = 2016) -> ExperimentReport:
-    """Run E3 (and the F1 layer trace) and build the report."""
+def run(
+    scale: str = "default", *, seed: SeedLike = 2016, jobs: int | None = None
+) -> ExperimentReport:
+    """Run E3 (and the F1 layer trace) through the scenario pipeline.
+
+    ``jobs=N`` fans the trials of each sweep point out over ``N`` worker
+    processes; the report is bit-identical to a serial run for the same seed.
+    """
+    return build_report(
+        run_scenario(get_scenario("E3"), scale=scale, seed=seed, jobs=jobs)
+    )
+
+
+def build_report(result: ScenarioRun) -> ExperimentReport:
+    """Turn an E3 scenario run into the paper-vs-measured report."""
+    scale = result.scale
     config = SCALES[scale]
-    sweep = ParameterSweep(
-        {"n": list(config["sizes"])},
-        constants={"c1": config["c1"], "c2": config["c2"]},
-    )
-    experiment = Experiment(
-        name="E3-expansion-process",
-        trial=trial_expansion,
-        description="Success probability and arrival time of Algorithm 1",
-    )
-    runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
-    )
-    sweep_result = runner.run_sweep(experiment, sweep)
+    sweep_result = result.sweep
 
     records: list[dict[str, Any]] = []
     success_rates: list[float] = []
@@ -121,7 +93,7 @@ def run(scale: str = "default", *, seed: SeedLike = 2016) -> ExperimentReport:
         success_rates.append(success)
 
     layer_trace = _layer_trace(
-        int(config["sizes"][-1]), config["c1"], config["c2"], seed
+        int(config["sizes"][-1]), config["c1"], config["c2"], result.seed
     )
 
     largest = records[-1]

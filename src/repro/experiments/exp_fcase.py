@@ -3,10 +3,11 @@
 The Note after Definition 4 flags the *F-CASE* — labels drawn from an
 arbitrary distribution ``F`` over ``{1, …, a}`` — as prospective study, and
 the conclusions list "designing the availability of a net" as ongoing work.
-This extension experiment explores that direction empirically: it compares the
-temporal diameter and flooding broadcast time of the random clique under the
-uniform distribution (the paper's UNI-CASE), a front-loaded geometric
-distribution and a Zipf-like distribution.
+The workload is the declarative scenario ``"E8"`` (clique × single-label
+model whose distribution is *selected by a sweep parameter* × diameter and
+flooding metrics); this module runs it through the generic pipeline,
+comparing the paper's UNI-CASE against a front-loaded geometric distribution
+and a Zipf-like distribution.
 
 Expected shape: front-loaded distributions compress the label range actually
 used, so *reachability is still guaranteed* (the clique always has the direct
@@ -17,71 +18,39 @@ rather than by ``n`` — the uniform case remains the hardest of the three.
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping
-
-import numpy as np
+from typing import Any
 
 from ..analysis.comparison import ComparisonRow
-from ..core.dissemination import flood_broadcast
-from ..core.distances import temporal_diameter
-from ..core.labeling import uniform_random_labels
-from ..graphs.generators import complete_graph
-from ..montecarlo.convergence import FixedBudgetStopping
-from ..montecarlo.experiment import Experiment
-from ..montecarlo.runner import MonteCarloRunner
-from ..montecarlo.sweep import ParameterSweep
-from ..randomness.distributions import distribution_from_name
+from ..scenarios import ScenarioRun, ScenarioTrial, get_scenario, run_scenario
+from ..scenarios.library import E8_SCALES as SCALES, FCASE_DISTRIBUTIONS as DISTRIBUTIONS
 from ..utils.seeding import SeedLike
 from .reporting import ExperimentReport
 
-__all__ = ["trial_fcase", "run", "SCALES", "DISTRIBUTIONS"]
+__all__ = ["trial_fcase", "run", "build_report", "SCALES", "DISTRIBUTIONS"]
 
-#: The distributions compared by the experiment (name → constructor kwargs).
-DISTRIBUTIONS: dict[str, dict[str, float]] = {
-    "uniform": {},
-    "geometric": {"q": 0.05},
-    "zipf": {"exponent": 1.0},
-}
-
-SCALES: dict[str, dict[str, Any]] = {
-    "quick": {"n": 48, "repetitions": 5},
-    "default": {"n": 128, "repetitions": 12},
-    "full": {"n": 256, "repetitions": 20},
-}
+#: The scenario's trial function (picklable; usable with Experiment directly).
+trial_fcase = ScenarioTrial(get_scenario("E8"))
 
 
-def trial_fcase(params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, float]:
-    """One trial: sample an F-RTN clique under the named distribution."""
-    n = int(params["n"])
-    name = str(params["distribution"])
-    distribution = distribution_from_name(name, n, **DISTRIBUTIONS[name])
-    clique = complete_graph(n, directed=True)
-    network = uniform_random_labels(
-        clique, labels_per_edge=1, lifetime=n, distribution=distribution, seed=rng
+def run(
+    scale: str = "default", *, seed: SeedLike = 2021, jobs: int | None = None
+) -> ExperimentReport:
+    """Run E8 through the scenario pipeline and build its report.
+
+    ``jobs=N`` fans the trials of each sweep point out over ``N`` worker
+    processes; the report is bit-identical to a serial run for the same seed.
+    """
+    return build_report(
+        run_scenario(get_scenario("E8"), scale=scale, seed=seed, jobs=jobs)
     )
-    td = temporal_diameter(network)
-    broadcast = flood_broadcast(network, source=int(rng.integers(0, n)))
-    return {
-        "temporal_diameter": float(td),
-        "broadcast_time": float(broadcast.broadcast_time),
-        "mean_label": distribution.mean(),
-    }
 
 
-def run(scale: str = "default", *, seed: SeedLike = 2021) -> ExperimentReport:
-    """Run E8 and build its report."""
+def build_report(result: ScenarioRun) -> ExperimentReport:
+    """Turn an E8 scenario run into the paper-vs-measured report."""
+    scale = result.scale
     config = SCALES[scale]
     n = int(config["n"])
-    sweep = ParameterSweep({"distribution": list(DISTRIBUTIONS)}, constants={"n": n})
-    experiment = Experiment(
-        name="E8-fcase",
-        trial=trial_fcase,
-        description="Temporal diameter of the clique under non-uniform label distributions",
-    )
-    runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
-    )
-    sweep_result = runner.run_sweep(experiment, sweep)
+    sweep_result = result.sweep
 
     records: list[dict[str, Any]] = []
     by_name: dict[str, float] = {}

@@ -7,8 +7,9 @@ of every edge receives a label whp, after which Claim 1 turns any static
 shortest path into a journey.  Theorem 8 converts this into the upper bound
 ``PoR(G) ≤ (2·d(G)·log n + ε)·m/(n−1)``.
 
-The experiment runs, for several graph families (path, cycle, grid, hypercube,
-tree, Erdős–Rényi):
+The workload is the declarative scenario ``"E6"`` — a *direct-mode* scenario
+whose per-point audit (the ``theorem7_por_audit`` metric) runs, for each
+sized graph family (path, cycle, grid, hypercube, tree, Erdős–Rényi):
 
 * the measured reachability probability at ``r = ⌈2·d·log n⌉`` (should be ≈ 1)
   and at a fraction of it,
@@ -16,134 +17,40 @@ tree, Erdős–Rényi):
   bound,
 * a direct verification of Claim 1: the deterministic box assignment preserves
   reachability on every family (the F3 check).
+
+``jobs=N`` maps the per-family audits over a process pool; each point owns a
+pre-spawned slice of RNG streams, so results are identical to the serial run.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Any, Callable, Mapping
-
-import numpy as np
-
 from ..analysis.comparison import ComparisonRow
-from ..core.guarantees import minimal_labels_for_reachability, reachability_probability
-from ..core.labeling import box_assignment, uniform_random_labels
-from ..core.price_of_randomness import (
-    opt_labels_upper_bound,
-    por_upper_bound_theorem8,
-    price_of_randomness,
-    r_sufficient_theorem7,
-)
-from ..core.reachability import preserves_reachability
-from ..graphs.generators import (
-    binary_tree,
-    cycle_graph,
-    erdos_renyi_graph,
-    grid_graph,
-    hypercube_graph,
-    path_graph,
-)
-from ..graphs.properties import diameter
-from ..graphs.static_graph import StaticGraph
-from ..utils.seeding import SeedLike, spawn_rngs
+from ..scenarios import ScenarioRun, get_scenario, run_scenario
+from ..scenarios.families import SIZED_FAMILIES as GRAPH_FAMILIES
+from ..scenarios.library import E6_SCALES as SCALES
+from ..utils.seeding import SeedLike
 from .reporting import ExperimentReport
 
-__all__ = ["GRAPH_FAMILIES", "run", "SCALES"]
-
-#: Graph families exercised by the experiment, as name → constructor.
-GRAPH_FAMILIES: dict[str, Callable[[int], StaticGraph]] = {
-    "path": lambda n: path_graph(n),
-    "cycle": lambda n: cycle_graph(n),
-    "grid": lambda n: grid_graph(max(2, int(round(math.sqrt(n)))), max(2, int(round(math.sqrt(n))))),
-    "hypercube": lambda n: hypercube_graph(max(2, int(round(math.log2(n))))),
-    "binary_tree": lambda n: binary_tree(max(2, int(math.floor(math.log2(n + 1))) - 1)),
-    "erdos_renyi": lambda n: erdos_renyi_graph(n, min(1.0, 3.0 * math.log(n) / n), seed=7),
-}
-
-SCALES: dict[str, dict[str, Any]] = {
-    "quick": {"n": 16, "families": ("path", "cycle", "grid"), "trials": 10},
-    "default": {
-        "n": 32,
-        "families": ("path", "cycle", "grid", "hypercube", "binary_tree", "erdos_renyi"),
-        "trials": 20,
-    },
-    "full": {
-        "n": 64,
-        "families": ("path", "cycle", "grid", "hypercube", "binary_tree", "erdos_renyi"),
-        "trials": 30,
-    },
-}
+__all__ = ["GRAPH_FAMILIES", "run", "build_report", "SCALES"]
 
 
-def _family_graph(name: str, n: int) -> StaticGraph:
-    graph = GRAPH_FAMILIES[name](n)
-    return graph
+def run(
+    scale: str = "default", *, seed: SeedLike = 2019, jobs: int | None = None
+) -> ExperimentReport:
+    """Run E6 (and the F3 box-assignment check) through the scenario pipeline."""
+    return build_report(
+        run_scenario(get_scenario("E6"), scale=scale, seed=seed, jobs=jobs)
+    )
 
 
-def run(scale: str = "default", *, seed: SeedLike = 2019) -> ExperimentReport:
-    """Run E6 (and the F3 box-assignment check) and build the report."""
-    config = SCALES[scale]
-    n_target = int(config["n"])
-    trials = int(config["trials"])
-    families = list(config["families"])
-    rngs = spawn_rngs(seed, 4 * len(families))
-    rng_iter = iter(rngs)
-
-    records: list[dict[str, Any]] = []
-    box_checks: list[bool] = []
-    sufficient_checks: list[bool] = []
-    por_within_bound: list[bool] = []
-    for family in families:
-        graph = _family_graph(family, n_target)
-        n = graph.n
-        m = graph.m
-        d = diameter(graph)
-        log_n = math.log(n)
-        r_theorem7 = r_sufficient_theorem7(n, d)
-        r_sufficient = max(1, int(math.ceil(r_theorem7)) + 1)
-        lifetime = n
-
-        prob_at_sufficient = reachability_probability(
-            graph, r_sufficient, lifetime=lifetime, trials=trials, seed=next(rng_iter)
-        )
-        r_quarter = max(1, r_sufficient // 4)
-        prob_at_quarter = reachability_probability(
-            graph, r_quarter, lifetime=lifetime, trials=trials, seed=next(rng_iter)
-        )
-        r_hat = minimal_labels_for_reachability(
-            graph,
-            target_probability=0.9,
-            lifetime=lifetime,
-            trials=trials,
-            r_max=4 * r_sufficient,
-            seed=next(rng_iter),
-        )
-        opt_bound = opt_labels_upper_bound(graph)
-        measured_por = price_of_randomness(graph, r_hat, opt=opt_bound)
-        theorem8_bound = por_upper_bound_theorem8(n, m, d)
-
-        # F3: the deterministic box assignment (Figure 3 / Claim 1).
-        box_network = box_assignment(graph, lifetime=max(n, d), mode="random", seed=next(rng_iter))
-        box_ok = preserves_reachability(box_network)
-
-        records.append(
-            {
-                "family": family,
-                "n": n,
-                "m": m,
-                "diameter": d,
-                "r_theorem7_=2d·log n": r_theorem7,
-                "P[T_reach]_at_r_sufficient": prob_at_sufficient,
-                "P[T_reach]_at_r/4": prob_at_quarter,
-                "empirical_r_hat": r_hat,
-                "measured_PoR": measured_por,
-                "theorem8_PoR_bound": theorem8_bound,
-                "box_assignment_preserves_reachability": box_ok,
-            }
-        )
-        box_checks.append(box_ok)
-        sufficient_checks.append(prob_at_sufficient >= 0.95)
-        por_within_bound.append(measured_por <= theorem8_bound + 1e-9)
+def build_report(result: ScenarioRun) -> ExperimentReport:
+    """Turn an E6 scenario run into the paper-vs-measured report."""
+    records = result.to_records()
+    box_checks = [bool(r["box_assignment_preserves_reachability"]) for r in records]
+    sufficient_checks = [r["P[T_reach]_at_r_sufficient"] >= 0.95 for r in records]
+    por_within_bound = [
+        r["measured_PoR"] <= r["theorem8_PoR_bound"] + 1e-9 for r in records
+    ]
 
     comparison = [
         ComparisonRow(
@@ -208,5 +115,5 @@ def run(scale: str = "default", *, seed: SeedLike = 2019) -> ExperimentReport:
             "round n to the nearest feasible size). The empirical r̂ targets 90% "
             "reachability probability rather than the paper's 1 − n^{-a}."
         ),
-        scale=scale,
+        scale=result.scale,
     )

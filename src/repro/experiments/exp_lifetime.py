@@ -6,76 +6,49 @@ When each arc of the clique receives one uniform label from ``{1, …, a}`` with
 ``G(n, k/a)`` which is disconnected below the ``log n / n`` threshold, so no
 instance can have all pairs communicate before ``k ≈ (a/n)·log n``.
 
-The experiment sweeps the lifetime multiplier ``a/n``, measures the exact
-temporal diameter and the certified per-instance lower bound
-(:func:`~repro.core.lifetime.prefix_connectivity_time`), and checks that the
-measured diameters scale linearly in ``(a/n)·log n``.
+The workload is the declarative scenario ``"E2"`` (clique × single uniform
+label with lifetime ``multiplier·n`` × diameter/bound/certificate suite);
+this module runs it through the generic pipeline and checks that the measured
+diameters scale linearly in ``(a/n)·log n``.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Any, Mapping
-
-import numpy as np
+from typing import Any
 
 from ..analysis.comparison import ComparisonRow
 from ..analysis.fitting import fit_scaled_log_model
-from ..core.distances import temporal_diameter
-from ..core.labeling import uniform_random_labels
-from ..core.lifetime import prefix_connectivity_time, temporal_diameter_lower_bound_theorem5
-from ..graphs.generators import complete_graph
-from ..montecarlo.experiment import Experiment
-from ..montecarlo.runner import MonteCarloRunner
-from ..montecarlo.convergence import FixedBudgetStopping
-from ..montecarlo.sweep import ParameterSweep
-from ..types import UNREACHABLE
+from ..core.lifetime import temporal_diameter_lower_bound_theorem5
+from ..scenarios import ScenarioRun, ScenarioTrial, get_scenario, run_scenario
+from ..scenarios.library import E2_SCALES as SCALES
 from ..utils.seeding import SeedLike
 from .reporting import ExperimentReport
 
-__all__ = ["trial_lifetime", "run", "SCALES"]
+__all__ = ["trial_lifetime", "run", "build_report", "SCALES"]
 
-SCALES: dict[str, dict[str, Any]] = {
-    "quick": {"n": 32, "multipliers": (1, 2, 4), "repetitions": 5},
-    "default": {"n": 64, "multipliers": (1, 2, 4, 8, 16), "repetitions": 12},
-    "full": {"n": 128, "multipliers": (1, 2, 4, 8, 16, 32), "repetitions": 20},
-}
+#: The scenario's trial function (picklable; usable with Experiment directly).
+trial_lifetime = ScenarioTrial(get_scenario("E2"))
 
 
-def trial_lifetime(params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, float]:
-    """One trial: clique with lifetime ``multiplier·n``; measure TD and its certificate."""
-    n = int(params["n"])
-    multiplier = int(params["multiplier"])
-    lifetime = multiplier * n
-    clique = complete_graph(n, directed=True)
-    network = uniform_random_labels(
-        clique, labels_per_edge=1, lifetime=lifetime, seed=rng
+def run(
+    scale: str = "default", *, seed: SeedLike = 2015, jobs: int | None = None
+) -> ExperimentReport:
+    """Run E2 through the scenario pipeline and build its report.
+
+    ``jobs=N`` fans the trials of each sweep point out over ``N`` worker
+    processes; the report is bit-identical to a serial run for the same seed.
+    """
+    return build_report(
+        run_scenario(get_scenario("E2"), scale=scale, seed=seed, jobs=jobs)
     )
-    td = temporal_diameter(network)
-    prefix = prefix_connectivity_time(network)
-    metrics = {
-        "temporal_diameter": float(td),
-        "scaled_bound": temporal_diameter_lower_bound_theorem5(n, lifetime),
-    }
-    if prefix < UNREACHABLE:
-        metrics["prefix_connectivity_time"] = float(prefix)
-    return metrics
 
 
-def run(scale: str = "default", *, seed: SeedLike = 2015) -> ExperimentReport:
-    """Run E2 and build its report."""
+def build_report(result: ScenarioRun) -> ExperimentReport:
+    """Turn an E2 scenario run into the paper-vs-measured report."""
+    scale = result.scale
     config = SCALES[scale]
     n = int(config["n"])
-    sweep = ParameterSweep({"multiplier": list(config["multipliers"])}, constants={"n": n})
-    experiment = Experiment(
-        name="E2-lifetime",
-        trial=trial_lifetime,
-        description="Temporal diameter vs. lifetime (Theorem 5)",
-    )
-    runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
-    )
-    sweep_result = runner.run_sweep(experiment, sweep)
+    sweep_result = result.sweep
 
     records: list[dict[str, Any]] = []
     scaled_x: list[float] = []

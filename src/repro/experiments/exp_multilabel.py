@@ -2,11 +2,13 @@
 
 Section 4 of the paper studies how many random labels per edge are needed for
 reachability on *sparse* graphs; on the clique a single label already
-suffices, so extra labels buy *speed* instead.  This extension experiment
-measures how the temporal diameter of the normalized random clique shrinks as
-each edge receives ``r`` independent uniform labels, quantifying the
-diminishing returns of additional availability (the conclusions' "combining
-random availabilities" direction).
+suffices, so extra labels buy *speed* instead.  The workload is the
+declarative scenario ``"E9"`` (clique × ``r`` uniform labels per edge ×
+distance-summary and label-cost metrics); this module runs it through the
+generic pipeline and measures how the temporal diameter of the normalized
+random clique shrinks as ``r`` grows, quantifying the diminishing returns of
+additional availability (the conclusions' "combining random availabilities"
+direction).
 
 Expected shape: the temporal diameter decreases monotonically in ``r`` and is
 already within a small constant factor of its floor for ``r`` around
@@ -16,58 +18,39 @@ already within a small constant factor of its floor for ``r`` around
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping
-
-import numpy as np
+from typing import Any
 
 from ..analysis.comparison import ComparisonRow
-from ..core.distances import temporal_distance_summary
-from ..core.labeling import uniform_random_labels
-from ..graphs.generators import complete_graph
-from ..montecarlo.convergence import FixedBudgetStopping
-from ..montecarlo.experiment import Experiment
-from ..montecarlo.runner import MonteCarloRunner
-from ..montecarlo.sweep import ParameterSweep
+from ..scenarios import ScenarioRun, ScenarioTrial, get_scenario, run_scenario
+from ..scenarios.library import E9_SCALES as SCALES
 from ..utils.seeding import SeedLike
 from .reporting import ExperimentReport
 
-__all__ = ["trial_multilabel", "run", "SCALES"]
+__all__ = ["trial_multilabel", "run", "build_report", "SCALES"]
 
-SCALES: dict[str, dict[str, Any]] = {
-    "quick": {"n": 48, "labels": (1, 2, 4), "repetitions": 5},
-    "default": {"n": 128, "labels": (1, 2, 4, 8), "repetitions": 12},
-    "full": {"n": 256, "labels": (1, 2, 4, 8, 16), "repetitions": 20},
-}
+#: The scenario's trial function (picklable; usable with Experiment directly).
+trial_multilabel = ScenarioTrial(get_scenario("E9"))
 
 
-def trial_multilabel(params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, float]:
-    """One trial: normalized clique with ``r`` uniform labels per arc."""
-    n = int(params["n"])
-    r = int(params["r"])
-    clique = complete_graph(n, directed=True)
-    network = uniform_random_labels(clique, labels_per_edge=r, lifetime=n, seed=rng)
-    summary = temporal_distance_summary(network)
-    return {
-        "temporal_diameter": float(summary.diameter),
-        "mean_temporal_distance": summary.average_distance,
-        "total_labels": float(network.total_labels),
-    }
+def run(
+    scale: str = "default", *, seed: SeedLike = 2022, jobs: int | None = None
+) -> ExperimentReport:
+    """Run E9 through the scenario pipeline and build its report.
+
+    ``jobs=N`` fans the trials of each sweep point out over ``N`` worker
+    processes; the report is bit-identical to a serial run for the same seed.
+    """
+    return build_report(
+        run_scenario(get_scenario("E9"), scale=scale, seed=seed, jobs=jobs)
+    )
 
 
-def run(scale: str = "default", *, seed: SeedLike = 2022) -> ExperimentReport:
-    """Run E9 and build its report."""
+def build_report(result: ScenarioRun) -> ExperimentReport:
+    """Turn an E9 scenario run into the paper-vs-measured report."""
+    scale = result.scale
     config = SCALES[scale]
     n = int(config["n"])
-    sweep = ParameterSweep({"r": list(config["labels"])}, constants={"n": n})
-    experiment = Experiment(
-        name="E9-multilabel",
-        trial=trial_multilabel,
-        description="Temporal diameter of the clique vs labels per edge",
-    )
-    runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
-    )
-    sweep_result = runner.run_sweep(experiment, sweep)
+    sweep_result = result.sweep
 
     records: list[dict[str, Any]] = []
     for point in sweep_result:

@@ -8,20 +8,19 @@ Theorem 6 shows, for the star ``K_{1,n−1}`` (diameter 2):
 * (b) ``o(log n)`` labels per edge fail whp;
 * hence ``r(n) = Θ(log n)`` and, since ``OPT = 2m``, ``PoR(star) = Θ(log n)``.
 
-The experiment sweeps the number of labels per edge ``r`` for each ``n``,
-measures the reachability probability, locates the empirical threshold
-``r̂(n)`` at the 90% level, and reports ``r̂ / log n`` (should be roughly
-constant) together with the resulting PoR.  The 2-split journey probability
-(the measured Figure 2 quantity) is reported alongside its exact analytic
-value.
+The workload is the declarative scenario ``"E5"`` (star × ``r`` uniform labels
+per edge × strong-reachability metric, one sweep block per ``n`` because the
+probed label grid depends on ``n``); this module runs it through the generic
+pipeline, locates the empirical threshold ``r̂(n)`` at the 90% level, and
+reports ``r̂ / log n`` (should be roughly constant) together with the
+resulting PoR.  The 2-split journey probability (the measured Figure 2
+quantity) is reported alongside its exact analytic value.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping
-
-import numpy as np
+from typing import Any
 
 from ..analysis.comparison import ComparisonRow
 from ..analysis.thresholds import estimate_probability_threshold
@@ -29,69 +28,51 @@ from ..core.guarantees import (
     two_split_journey_probability,
     two_split_journey_probability_analytic,
 )
-from ..core.labeling import uniform_random_labels
 from ..core.price_of_randomness import opt_labels_star, price_of_randomness
-from ..core.reachability import preserves_reachability
 from ..graphs.generators import star_graph
-from ..montecarlo.experiment import Experiment
-from ..montecarlo.runner import MonteCarloRunner
-from ..montecarlo.convergence import FixedBudgetStopping
-from ..montecarlo.sweep import ParameterSweep
+from ..scenarios import ScenarioRun, ScenarioTrial, get_scenario, run_scenario
+from ..scenarios.library import E5_SCALES as SCALES, star_label_grid
 from ..utils.seeding import SeedLike
 from .reporting import ExperimentReport
 
-__all__ = ["trial_star_reachability", "run", "SCALES"]
+__all__ = ["trial_star_reachability", "run", "build_report", "SCALES", "TARGET_PROBABILITY"]
 
-SCALES: dict[str, dict[str, Any]] = {
-    "quick": {"sizes": (32, 64), "repetitions": 20, "max_r_factor": 3.0},
-    "default": {"sizes": (64, 128, 256), "repetitions": 40, "max_r_factor": 3.0},
-    "full": {"sizes": (64, 128, 256, 512, 1024), "repetitions": 60, "max_r_factor": 3.0},
-}
+#: The scenario's trial function (picklable; usable with Experiment directly).
+trial_star_reachability = ScenarioTrial(get_scenario("E5"))
 
 #: Target probability defining the empirical threshold r̂(n).
 TARGET_PROBABILITY = 0.9
 
 
-def trial_star_reachability(
-    params: Mapping[str, Any], rng: np.random.Generator
-) -> dict[str, float]:
-    """One trial: does ``r`` labels per edge make the star temporally reachable?"""
-    n = int(params["n"])
-    r = int(params["r"])
-    star = star_graph(n)
-    network = uniform_random_labels(star, labels_per_edge=r, lifetime=n, seed=rng)
-    return {"reachable": 1.0 if preserves_reachability(network) else 0.0}
-
-
 def _r_grid(n: int, max_r_factor: float) -> list[int]:
     """Label counts to probe: 1 … ≈ max_r_factor·log n (unique, increasing)."""
-    upper = max(4, int(math.ceil(max_r_factor * math.log(n))))
-    grid = sorted(set(list(range(1, min(upper, 8) + 1)) + list(
-        np.unique(np.linspace(1, upper, num=min(upper, 12), dtype=int)).tolist()
-    )))
-    return [int(r) for r in grid]
+    return star_label_grid(n, max_r_factor)
 
 
-def run(scale: str = "default", *, seed: SeedLike = 2018) -> ExperimentReport:
-    """Run E5 (and the F2 two-split probability check) and build the report."""
-    config = SCALES[scale]
-    experiment = Experiment(
-        name="E5-star-por",
-        trial=trial_star_reachability,
-        description="Reachability probability of the star vs labels per edge (Theorem 6)",
+def run(
+    scale: str = "default", *, seed: SeedLike = 2018, jobs: int | None = None
+) -> ExperimentReport:
+    """Run E5 (and the F2 two-split probability check) through the pipeline.
+
+    ``jobs=N`` fans the trials of each sweep point out over ``N`` worker
+    processes; the report is bit-identical to a serial run for the same seed.
+    """
+    return build_report(
+        run_scenario(get_scenario("E5"), scale=scale, seed=seed, jobs=jobs)
     )
-    runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed
-    )
+
+
+def build_report(result: ScenarioRun) -> ExperimentReport:
+    """Turn an E5 scenario run into the paper-vs-measured report."""
+    scale = result.scale
+    seed = result.seed
 
     records: list[dict[str, Any]] = []
     threshold_ratios: list[float] = []
     por_values: list[float] = []
-    for n in config["sizes"]:
-        n = int(n)
-        grid = _r_grid(n, config["max_r_factor"])
-        sweep = ParameterSweep({"r": grid}, constants={"n": n})
-        sweep_result = runner.run_sweep(experiment, sweep)
+    for sweep_result in result.sweeps:
+        grid = [int(point.parameters["r"]) for point in sweep_result]
+        n = int(sweep_result.points[0].parameters["n"])
         probabilities = [point.mean("reachable") for point in sweep_result]
         threshold = estimate_probability_threshold(
             [float(r) for r in grid], probabilities, target=TARGET_PROBABILITY

@@ -5,8 +5,11 @@ from ``{1, …, n}``, the temporal diameter of the directed clique is
 ``Θ(log n)`` with high probability and in expectation — exponentially smaller
 than the ``≈ n/2`` a single direct hop would need in expectation.
 
-The experiment sweeps ``n``, samples instances, computes the exact temporal
-diameter of each (all-pairs foremost journeys) and reports:
+The workload itself is the declarative scenario ``"E1"`` (clique × normalized
+U-RTN × distance-summary suite, defined in :mod:`repro.scenarios.library`);
+this module is the thin report layer: :func:`run` executes the scenario
+through the generic pipeline and :func:`build_report` turns the sweep into
+the paper-vs-measured record —
 
 * the mean temporal diameter and its ratio to ``log n`` (should stabilise at a
   constant ``γ``),
@@ -18,74 +21,42 @@ diameter of each (all-pairs foremost journeys) and reports:
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping
-
-import numpy as np
+from typing import Any
 
 from ..analysis.bounds import expected_direct_wait, temporal_diameter_prediction
 from ..analysis.comparison import ComparisonRow
 from ..analysis.fitting import fit_log_model, fit_power_model
-from ..core.distances import temporal_distance_summary
-from ..core.labeling import normalized_urtn
-from ..graphs.generators import complete_graph
-from ..montecarlo.experiment import Experiment
-from ..montecarlo.runner import MonteCarloRunner
-from ..montecarlo.convergence import FixedBudgetStopping
-from ..montecarlo.sweep import ParameterSweep
+from ..scenarios import ScenarioRun, ScenarioTrial, get_scenario, run_scenario
+from ..scenarios.library import E1_SCALES as SCALES
 from ..utils.seeding import SeedLike
 from .reporting import ExperimentReport
 
-__all__ = ["trial_temporal_diameter", "run", "SCALES"]
+__all__ = ["trial_temporal_diameter", "run", "build_report", "SCALES"]
 
-#: Parameter presets.  ``quick`` is used by the integration tests, ``default``
-#: by the benchmark harness; ``full`` reproduces the DESIGN.md §4 grid.
-SCALES: dict[str, dict[str, Any]] = {
-    "quick": {"sizes": (16, 32, 64), "repetitions": 5, "directed": True},
-    "default": {"sizes": (16, 32, 64, 128, 256), "repetitions": 15, "directed": True},
-    "full": {"sizes": (16, 32, 64, 128, 256, 512), "repetitions": 25, "directed": True},
-}
-
-
-def trial_temporal_diameter(
-    params: Mapping[str, Any], rng: np.random.Generator
-) -> dict[str, float]:
-    """One trial: sample a normalized U-RT clique and measure its temporal diameter."""
-    n = int(params["n"])
-    directed = bool(params.get("directed", True))
-    clique = complete_graph(n, directed=directed)
-    network = normalized_urtn(clique, seed=rng)
-    # One batched all-pairs sweep feeds every statistic of this instance.
-    summary = temporal_distance_summary(network)
-    td = summary.diameter
-    log_n = math.log(n)
-    return {
-        "temporal_diameter": float(td),
-        "mean_temporal_distance": summary.average_distance,
-        "ratio_to_log_n": float(td) / log_n,
-        "direct_wait_baseline": expected_direct_wait(n),
-    }
+#: The scenario's trial function (kept for direct Experiment construction,
+#: e.g. by the parallel-engine benchmarks; picklable for process pools).
+trial_temporal_diameter = ScenarioTrial(get_scenario("E1"))
 
 
 def run(
     scale: str = "default", *, seed: SeedLike = 2014, jobs: int | None = None
 ) -> ExperimentReport:
-    """Run E1 and build its report.
+    """Run E1 through the scenario pipeline and build its report.
 
     ``jobs=N`` executes the trials of each sweep point on ``N`` worker
     processes via the parallel engine; the report is bit-identical to a
     serial run for the same seed.
     """
+    return build_report(
+        run_scenario(get_scenario("E1"), scale=scale, seed=seed, jobs=jobs)
+    )
+
+
+def build_report(result: ScenarioRun) -> ExperimentReport:
+    """Turn an E1 scenario run into the paper-vs-measured report."""
+    scale = result.scale
     config = SCALES[scale]
-    sweep = ParameterSweep({"n": list(config["sizes"])}, constants={"directed": config["directed"]})
-    experiment = Experiment(
-        name="E1-temporal-diameter",
-        trial=trial_temporal_diameter,
-        description="Temporal diameter of the normalized U-RT clique (Theorem 4)",
-    )
-    runner = MonteCarloRunner(
-        stopping=FixedBudgetStopping(config["repetitions"]), seed=seed, jobs=jobs
-    )
-    sweep_result = runner.run_sweep(experiment, sweep)
+    sweep_result = result.sweep
 
     records: list[dict[str, Any]] = []
     sizes: list[float] = []

@@ -1,8 +1,19 @@
 """Experiment registry and the ``repro-experiments`` command-line interface.
 
-The registry maps the DESIGN.md experiment identifiers (E1 … E7) to the
+The registry maps the DESIGN.md experiment identifiers (E1 … E9) to the
 corresponding ``run(scale, seed)`` functions; the CLI runs any subset at a
 chosen scale and writes the combined EXPERIMENTS.md report.
+
+A second command family drives the declarative scenario layer directly::
+
+    repro-experiments scenario list
+    repro-experiments scenario run hypercube-urtn-diameter --scale quick --jobs 4
+    repro-experiments scenario sweep er-fcase-reachability --set n=64,128 --set r=2,8
+
+``scenario run`` executes any registry entry — experiment-backed or not —
+through the one generic pipeline; ``scenario sweep`` does the same after
+overriding sweep axes from the command line, which is how a brand-new
+workload point is probed without touching any code.
 """
 
 from __future__ import annotations
@@ -10,9 +21,12 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from ..exceptions import ConfigurationError
+from ..io.tables import format_table
+from ..scenarios import get_scenario, iter_scenarios, run_scenario
+from ..scenarios.registry import experiment_scenarios
 from ..utils.logging import enable_console_logging
 from ..utils.seeding import SeedLike
 from . import (
@@ -28,7 +42,7 @@ from . import (
 )
 from .reporting import ExperimentReport, write_experiments_markdown
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiments", "main"]
+__all__ = ["EXPERIMENTS", "DESCRIPTIONS", "get_experiment", "run_experiments", "main"]
 
 #: Registry: experiment id → run callable (``run(scale=..., seed=...)``).
 EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
@@ -84,9 +98,8 @@ def run_experiments(
 ) -> list[ExperimentReport]:
     """Run the requested experiments (all of them by default) and return the reports.
 
-    ``jobs=N`` fans each experiment's Monte-Carlo trials out over ``N`` worker
-    processes through the parallel engine.  Experiments whose run functions
-    have not (yet) been wired through the engine simply run serially — the
+    ``jobs=N`` fans each experiment's work out over ``N`` worker processes
+    through the parallel engine — every registry entry accepts it, and the
     flag never changes any experiment's results, only its wall-clock.
     """
     selected = list(ids) if ids else sorted(EXPERIMENTS)
@@ -106,7 +119,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduce the claims of 'Ephemeral Networks with Random Availability "
             "of Links' (SPAA 2014). Runs Monte-Carlo experiments and writes a "
-            "paper-vs-measured report."
+            "paper-vs-measured report. Use the 'scenario' subcommand to drive "
+            "the declarative scenario registry directly."
         ),
     )
     parser.add_argument(
@@ -147,11 +161,148 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# --------------------------------------------------------------------- #
+# the `scenario` command family
+# --------------------------------------------------------------------- #
+def _build_scenario_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments scenario",
+        description="Drive the declarative scenario registry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every registered scenario")
+
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("name", help="scenario name (see 'scenario list')")
+        p.add_argument(
+            "--scale", default="default", help="scale preset (default: 'default')"
+        )
+        p.add_argument(
+            "--seed", type=int, default=None,
+            help="master RNG seed (default: the scenario's default_seed)",
+        )
+        p.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes (bit-identical to serial for the same seed)",
+        )
+        p.add_argument(
+            "--records", default=None, metavar="PATH",
+            help="write the flat result records as JSON to this path",
+        )
+        p.add_argument(
+            "--quiet", action="store_true", help="suppress the results table"
+        )
+
+    run_parser = sub.add_parser(
+        "run", help="run one scenario through the generic pipeline"
+    )
+    add_run_options(run_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a scenario with sweep axes overridden from the CLI"
+    )
+    add_run_options(sweep_parser)
+    sweep_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2,...",
+        dest="overrides",
+        help=(
+            "replace (or introduce) a sweep axis, e.g. --set n=64,128; "
+            "repeat for several axes"
+        ),
+    )
+    return parser
+
+
+def _parse_axis_value(token: str) -> Any:
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    for converter in (int, float):
+        try:
+            return converter(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_overrides(entries: Sequence[str]) -> dict[str, list[Any]]:
+    overrides: dict[str, list[Any]] = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise ConfigurationError(
+                f"--set expects AXIS=V1,V2,..., got {entry!r}"
+            )
+        axis, _, values = entry.partition("=")
+        axis = axis.strip()
+        parsed = [_parse_axis_value(v.strip()) for v in values.split(",") if v.strip()]
+        if not axis or not parsed:
+            raise ConfigurationError(
+                f"--set expects AXIS=V1,V2,..., got {entry!r}"
+            )
+        overrides[axis] = parsed
+    return overrides
+
+
+def _scenario_list() -> int:
+    backed = set(experiment_scenarios())
+    rows = []
+    for scenario in iter_scenarios():
+        rows.append(
+            {
+                "name": scenario.name,
+                "mode": scenario.mode,
+                "scales": ",".join(scenario.scale_names),
+                "experiment": scenario.name if scenario.name in backed else "-",
+                "description": scenario.description,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _scenario_run(args: argparse.Namespace, overrides: dict[str, list[Any]]) -> int:
+    scenario = get_scenario(args.name)
+    if overrides:
+        scenario = scenario.with_axes(overrides, scale=args.scale)
+    result = run_scenario(
+        scenario, scale=args.scale, seed=args.seed, jobs=args.jobs
+    )
+    records = result.to_records()
+    if not args.quiet:
+        print(f"{scenario.name} — {scenario.title} [scale={args.scale}]")
+        print(format_table(records))
+    if args.records:
+        from ..io.serialization import write_records_json
+
+        path = write_records_json(records, args.records)
+        print(f"wrote {path}")
+    return 0
+
+
+def _scenario_main(argv: Sequence[str]) -> int:
+    parser = _build_scenario_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _scenario_list()
+    overrides = _parse_overrides(getattr(args, "overrides", []))
+    return _scenario_run(args, overrides)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    enable_console_logging()
+    if argv and argv[0] == "scenario":
+        try:
+            return _scenario_main(argv[1:])
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     parser = _build_parser()
     args = parser.parse_args(argv)
-    enable_console_logging()
     try:
         reports = run_experiments(
             args.ids, scale=args.scale, seed=args.seed, jobs=args.jobs

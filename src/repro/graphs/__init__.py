@@ -22,6 +22,7 @@ from .generators import (
     path_graph,
     random_tree,
     star_graph,
+    supercritical_erdos_renyi,
     wheel_graph,
 )
 from .properties import (
@@ -47,6 +48,7 @@ __all__ = [
     "binary_tree",
     "random_tree",
     "erdos_renyi_graph",
+    "supercritical_erdos_renyi",
     "wheel_graph",
     "barbell_graph",
     "lollipop_graph",

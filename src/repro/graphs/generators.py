@@ -11,6 +11,7 @@ diameter/edge-count trade-offs for the Price-of-Randomness bound.
 
 from __future__ import annotations
 
+import math
 from itertools import combinations
 
 import numpy as np
@@ -30,6 +31,7 @@ __all__ = [
     "binary_tree",
     "random_tree",
     "erdos_renyi_graph",
+    "supercritical_erdos_renyi",
     "wheel_graph",
     "barbell_graph",
     "lollipop_graph",
@@ -197,6 +199,24 @@ def erdos_renyi_graph(
     keep = rng.random(pairs.shape[0]) < p
     edges = [tuple(e) for e in pairs[keep].tolist()]
     return StaticGraph(n, edges, directed=directed, name=f"gnp_{n}_{p:g}")
+
+
+def supercritical_erdos_renyi(
+    n: int, *, factor: float = 3.0, seed: SeedLike = None
+) -> StaticGraph:
+    """Sample ``G(n, p)`` at ``p = factor·log n / n`` (capped at 1).
+
+    A convenience generator for the connected regime: ``factor > 1`` sits
+    above the classical ``log n / n`` connectivity threshold, so the sample
+    is connected whp — the substrate both E6 and the declarative
+    scenario layer use when they need "a connected sparse random graph of
+    roughly this size".
+    """
+    n = check_positive_int(n, "n")
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    p = min(1.0, factor * math.log(max(n, 2)) / n)
+    return erdos_renyi_graph(n, p, seed=seed)
 
 
 def wheel_graph(n: int) -> StaticGraph:

@@ -4,8 +4,10 @@ from .tables import format_table, format_markdown_table
 from .serialization import (
     read_records_csv,
     read_records_json,
+    read_scenario_json,
     write_records_csv,
     write_records_json,
+    write_scenario_json,
 )
 
 __all__ = [
@@ -15,4 +17,6 @@ __all__ = [
     "read_records_csv",
     "write_records_json",
     "read_records_json",
+    "write_scenario_json",
+    "read_scenario_json",
 ]

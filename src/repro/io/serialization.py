@@ -1,9 +1,15 @@
-"""Persist experiment records as CSV or JSON.
+"""Persist experiment records — and scenario definitions — as CSV or JSON.
 
 Records are flat mappings (the output of
-:func:`repro.montecarlo.results_to_records`); round-tripping through these
+:func:`repro.montecarlo.results_to_records` or
+:meth:`repro.scenarios.ScenarioRun.to_records`); round-tripping through these
 helpers is lossless up to the usual CSV string/number ambiguity, which the
 reader resolves by attempting numeric conversion.
+
+Scenario definitions (:class:`repro.scenarios.Scenario`) are pure data and
+round-trip losslessly: :func:`write_scenario_json` /
+:func:`read_scenario_json` let a workload live in a versioned JSON file
+instead of Python code.
 """
 
 from __future__ import annotations
@@ -11,15 +17,20 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from ..exceptions import SerializationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..scenarios.specs import Scenario
 
 __all__ = [
     "write_records_csv",
     "read_records_csv",
     "write_records_json",
     "read_records_json",
+    "write_scenario_json",
+    "read_scenario_json",
 ]
 
 
@@ -97,3 +108,30 @@ def read_records_json(path: str | Path) -> list[dict[str, Any]]:
     if not isinstance(data, list):
         raise SerializationError(f"expected a list of records in {path}, got {type(data).__name__}")
     return [dict(record) for record in data]
+
+
+def write_scenario_json(scenario: "Scenario", path: str | Path) -> Path:
+    """Serialise a scenario definition to a JSON file and return the path."""
+    path = Path(path)
+    try:
+        path.write_text(scenario.to_json() + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError(f"could not write scenario to {path}: {exc}") from exc
+    return path
+
+
+def read_scenario_json(path: str | Path) -> "Scenario":
+    """Rebuild a scenario definition from a :func:`write_scenario_json` file."""
+    from ..scenarios.specs import Scenario
+
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError(f"could not read scenario from {path}: {exc}") from exc
+    try:
+        return Scenario.from_json(text)
+    except Exception as exc:
+        raise SerializationError(
+            f"{path} does not contain a valid scenario definition: {exc}"
+        ) from exc

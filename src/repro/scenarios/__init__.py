@@ -1,0 +1,86 @@
+"""Declarative scenario subsystem: one pipeline for every workload.
+
+The paper's results live on a grid — a graph family × a random label model ×
+a temporal metric.  This subpackage makes that grid first-class:
+
+* :mod:`repro.scenarios.specs` — :class:`GraphFamilySpec`,
+  :class:`LabelModelSpec`, :class:`MetricSuite` and the composable
+  :class:`Scenario` dataclass with JSON round-trip serialisation;
+* :mod:`repro.scenarios.families` / :mod:`~repro.scenarios.labelmodels` /
+  :mod:`~repro.scenarios.metrics` — the three registries a scenario composes;
+* :mod:`repro.scenarios.pipeline` — :func:`run_scenario`, the single generic
+  execution path (Monte-Carlo runner + parallel engine + batched kernels);
+* :mod:`repro.scenarios.registry` — the named-scenario catalogue;
+* :mod:`repro.scenarios.library` — the built-in definitions: the nine
+  experiment-backed scenarios ``E1`` … ``E9`` plus registry-only workloads.
+
+Quickstart::
+
+    from repro.scenarios import get_scenario, run_scenario
+    result = run_scenario(get_scenario("hypercube-urtn-diameter"),
+                          scale="quick", seed=7, jobs=2)
+    for record in result.to_records():
+        print(record)
+"""
+
+from .specs import (
+    GraphFamilySpec,
+    LabelModelSpec,
+    MetricSpec,
+    MetricSuite,
+    Scenario,
+    ScenarioScale,
+    SweepBlock,
+    eval_param_expr,
+)
+from .families import GRAPH_FAMILIES, SIZED_FAMILIES, register_family
+from .labelmodels import LABEL_MODELS, register_label_model
+from .metrics import (
+    DIRECT_METRICS,
+    METRICS,
+    TrialContext,
+    register_direct_metric,
+    register_metric,
+)
+from .pipeline import ScenarioRun, ScenarioTrial, run_scenario
+from .registry import (
+    experiment_scenarios,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from . import library  # noqa: F401  (registers the built-in scenarios)
+
+__all__ = [
+    # specs
+    "GraphFamilySpec",
+    "LabelModelSpec",
+    "MetricSpec",
+    "MetricSuite",
+    "Scenario",
+    "ScenarioScale",
+    "SweepBlock",
+    "eval_param_expr",
+    # registries
+    "GRAPH_FAMILIES",
+    "SIZED_FAMILIES",
+    "LABEL_MODELS",
+    "METRICS",
+    "DIRECT_METRICS",
+    "TrialContext",
+    "register_family",
+    "register_label_model",
+    "register_metric",
+    "register_direct_metric",
+    "register_scenario",
+    # pipeline
+    "ScenarioRun",
+    "ScenarioTrial",
+    "run_scenario",
+    # registry
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "experiment_scenarios",
+]

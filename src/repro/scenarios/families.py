@@ -1,0 +1,137 @@
+"""Graph family registry for the declarative scenario layer.
+
+Each entry maps a family name to a builder taking keyword arguments; a
+:class:`~repro.scenarios.specs.GraphFamilySpec` resolves its ``params``
+(literals or parameter expressions) against the sweep point and calls the
+builder.  Graph construction never consumes trial randomness — families that
+sample (Erdős–Rényi) take an explicit structural ``seed`` parameter — so the
+built graphs are cached per resolved parameter tuple across trials.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Any, Callable, Mapping
+
+from ..exceptions import ConfigurationError
+from ..graphs.generators import (
+    barbell_graph,
+    binary_tree,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    star_graph,
+    supercritical_erdos_renyi,
+    wheel_graph,
+)
+from ..graphs.static_graph import StaticGraph
+from .specs import GraphFamilySpec, eval_param_expr
+
+__all__ = [
+    "GRAPH_FAMILIES",
+    "SIZED_FAMILIES",
+    "register_family",
+    "build_family",
+    "build_sized_family",
+    "build_graph",
+]
+
+#: Family name → builder.  Builders accept keyword arguments only.
+GRAPH_FAMILIES: dict[str, Callable[..., StaticGraph]] = {
+    "clique": lambda n, directed=False: complete_graph(int(n), directed=bool(directed)),
+    "star": lambda n: star_graph(int(n)),
+    "path": lambda n: path_graph(int(n)),
+    "cycle": lambda n: cycle_graph(int(n)),
+    "grid": lambda rows, cols: grid_graph(int(rows), int(cols)),
+    "hypercube": lambda dimension: hypercube_graph(int(dimension)),
+    "complete_bipartite": lambda a, b: complete_bipartite_graph(int(a), int(b)),
+    "binary_tree": lambda depth: binary_tree(int(depth)),
+    "wheel": lambda n: wheel_graph(int(n)),
+    "barbell": lambda clique_size, bridge_length=0: barbell_graph(
+        int(clique_size), int(bridge_length)
+    ),
+    "lollipop": lambda clique_size, path_length: lollipop_graph(
+        int(clique_size), int(path_length)
+    ),
+    # Sampling families default to a fixed structural seed: graph construction
+    # must be a deterministic function of the resolved params (the cache and
+    # the cross-worker bit-identity contract both depend on it).  Scenarios
+    # wanting a different substrate pass an explicit integer seed.
+    "erdos_renyi": lambda n, p, directed=False, seed=7: erdos_renyi_graph(
+        int(n), float(p), directed=bool(directed), seed=int(seed)
+    ),
+    "gnp_supercritical": lambda n, factor=3.0, seed=7: supercritical_erdos_renyi(
+        int(n), factor=float(factor), seed=int(seed)
+    ),
+}
+
+#: Families addressable by a single approximate size ``n`` — the E6 grid.
+#: Non-rectangular families round ``n`` to the nearest feasible shape.
+SIZED_FAMILIES: dict[str, Callable[[int], StaticGraph]] = {
+    "path": lambda n: path_graph(n),
+    "cycle": lambda n: cycle_graph(n),
+    "grid": lambda n: grid_graph(
+        max(2, int(round(math.sqrt(n)))), max(2, int(round(math.sqrt(n))))
+    ),
+    "hypercube": lambda n: hypercube_graph(max(2, int(round(math.log2(n))))),
+    "binary_tree": lambda n: binary_tree(max(2, int(math.floor(math.log2(n + 1))) - 1)),
+    "erdos_renyi": lambda n: erdos_renyi_graph(n, min(1.0, 3.0 * math.log(n) / n), seed=7),
+}
+
+
+def register_family(name: str, builder: Callable[..., StaticGraph]) -> None:
+    """Register a custom graph family under ``name`` (must be unused)."""
+    if name in GRAPH_FAMILIES or name == "none":
+        raise ConfigurationError(f"graph family {name!r} is already registered")
+    GRAPH_FAMILIES[name] = builder
+
+
+def build_family(family: str, **params: Any) -> StaticGraph:
+    """Build a registered family with already-resolved parameters."""
+    if family not in GRAPH_FAMILIES:
+        raise ConfigurationError(
+            f"unknown graph family {family!r}; available: {sorted(GRAPH_FAMILIES)}"
+        )
+    return GRAPH_FAMILIES[family](**params)
+
+
+def build_sized_family(family: str, n: int) -> StaticGraph:
+    """Build a :data:`SIZED_FAMILIES` member at approximate size ``n``."""
+    if family not in SIZED_FAMILIES:
+        raise ConfigurationError(
+            f"unknown sized family {family!r}; available: {sorted(SIZED_FAMILIES)}"
+        )
+    return SIZED_FAMILIES[family](int(n))
+
+
+@lru_cache(maxsize=128)
+def _cached_build(family: str, frozen_params: tuple[tuple[str, Any], ...]) -> StaticGraph:
+    return build_family(family, **dict(frozen_params))
+
+
+def build_graph(spec: GraphFamilySpec, params: Mapping[str, Any]) -> StaticGraph | None:
+    """Resolve a family spec against a sweep point and build (or reuse) the graph.
+
+    Returns ``None`` for the ``"none"`` family.  Because builders are
+    deterministic functions of their resolved parameters, results are cached —
+    Monte-Carlo trials at the same sweep point share one immutable
+    :class:`~repro.graphs.static_graph.StaticGraph` instead of rebuilding it
+    per trial.
+    """
+    if spec.family == "none":
+        return None
+    resolved = {
+        key: eval_param_expr(value, params) for key, value in spec.params.items()
+    }
+    try:
+        frozen = tuple(sorted(resolved.items()))
+        return _cached_build(spec.family, frozen)
+    except TypeError:
+        # Unhashable parameter values: build without the cache.
+        return build_family(spec.family, **resolved)

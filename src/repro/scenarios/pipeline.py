@@ -1,0 +1,273 @@
+"""The generic scenario pipeline: one runner for every declarative workload.
+
+:func:`run_scenario` is the single execution path behind all nine experiment
+entry points *and* every registry-only scenario:
+
+* **montecarlo mode** — each sweep block becomes a
+  :class:`~repro.montecarlo.sweep.ParameterSweep` executed by a
+  :class:`~repro.montecarlo.runner.MonteCarloRunner`, which delegates fixed
+  budgets to the parallel engine.  All engine options pass straight through:
+  ``jobs``/``executor`` fan trials out over worker processes,
+  ``checkpoint_dir`` enables crash/resume, ``aggregation="streaming"`` ships
+  O(1) accumulators — with results bit-identical across all of them.
+* **direct mode** — each sweep point is evaluated once by the scenario's
+  single direct metric with a fixed quota of pre-spawned generators; points
+  are independent, so ``jobs=N`` maps them over a process pool with results
+  identical to the serial order.
+
+The per-trial work is :class:`ScenarioTrial` — a picklable callable built
+from the scenario's declarative specs: build (or reuse) the graph, sample the
+label model with the trial generator, evaluate the metric suite in order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..engine.accumulators import DEFAULT_RESERVOIR_CAPACITY
+from ..engine.driver import ProgressCallback
+from ..engine.executors import Executor, MultiprocessExecutor, resolve_executor
+from ..exceptions import ConfigurationError
+from ..montecarlo.convergence import FixedBudgetStopping
+from ..montecarlo.experiment import Experiment
+from ..montecarlo.results import SweepResult, TrialResult
+from ..montecarlo.runner import MonteCarloRunner
+from ..montecarlo.sweep import ParameterSweep
+from ..utils.logging import get_logger
+from ..utils.seeding import SeedLike, spawn_rngs
+from .families import build_graph
+from .labelmodels import sample_labels
+from .metrics import DIRECT_METRICS, METRICS, TrialContext
+from .specs import MetricSpec, Scenario
+
+__all__ = ["ScenarioTrial", "ScenarioRun", "run_scenario"]
+
+_LOGGER = get_logger("scenarios.pipeline")
+
+
+class ScenarioTrial:
+    """Picklable trial callable generated from a scenario's declarative specs.
+
+    Instances satisfy the :data:`~repro.montecarlo.experiment.TrialFunction`
+    protocol, so they can be handed to :class:`Experiment` directly — the
+    multiprocess executor pickles the scenario (plain data) rather than a
+    closure.
+    """
+
+    __slots__ = ("scenario",)
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+
+    def __call__(
+        self, params: Mapping[str, Any], rng: np.random.Generator
+    ) -> dict[str, float]:
+        graph = build_graph(self.scenario.graph, params)
+        network, extras = sample_labels(self.scenario.labels, graph, params, rng)
+        ctx = TrialContext(
+            graph=graph, network=network, params=params, rng=rng, extras=extras
+        )
+        for spec in self.scenario.metrics:
+            fn = METRICS.get(spec.metric)
+            if fn is None:
+                raise ConfigurationError(
+                    f"scenario {self.scenario.name!r} references unknown metric "
+                    f"{spec.metric!r}; available: {sorted(METRICS)}"
+                )
+            ctx.metrics.update(fn(ctx, spec.options))
+        return dict(ctx.metrics)
+
+    def __getstate__(self) -> Scenario:
+        return self.scenario
+
+    def __setstate__(self, state: Scenario) -> None:
+        self.scenario = state
+
+    def __repr__(self) -> str:
+        return f"ScenarioTrial({self.scenario.name!r})"
+
+
+@dataclass
+class ScenarioRun:
+    """Everything one :func:`run_scenario` call produced.
+
+    ``sweeps`` holds one :class:`~repro.montecarlo.results.SweepResult` per
+    sweep block in montecarlo mode; ``records`` holds one mapping per sweep
+    point in direct mode.  :meth:`to_records` flattens either shape into the
+    flat-record form the :mod:`repro.io` serialisers and the CLI table
+    renderer consume.
+    """
+
+    scenario: Scenario
+    scale: str
+    seed: SeedLike
+    sweeps: list[SweepResult] = field(default_factory=list)
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def sweep(self) -> SweepResult:
+        """The single sweep result of a one-block montecarlo scenario."""
+        if len(self.sweeps) != 1:
+            raise ConfigurationError(
+                f"scenario {self.scenario.name!r} produced {len(self.sweeps)} "
+                "sweep blocks; index .sweeps explicitly"
+            )
+        return self.sweeps[0]
+
+    def points(self) -> Iterator[TrialResult]:
+        """Iterate every trial result across all sweep blocks, in order."""
+        for sweep in self.sweeps:
+            yield from sweep
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Flat records: parameters plus per-metric summary statistics."""
+        if self.scenario.mode == "direct":
+            return [dict(record) for record in self.records]
+        return [point.as_record() for point in self.points()]
+
+
+def _block_checkpoint_dir(
+    checkpoint_dir: str | os.PathLike[str] | None, index: int, total: int
+) -> str | os.PathLike[str] | None:
+    if checkpoint_dir is None or total == 1:
+        return checkpoint_dir
+    return os.path.join(os.fspath(checkpoint_dir), f"block-{index:02d}")
+
+
+def _evaluate_direct_point(
+    args: tuple[MetricSpec, dict[str, Any], list[np.random.Generator]],
+) -> dict[str, Any]:
+    """Worker entry point for direct-mode points (module-level: picklable)."""
+    spec, point, rngs = args
+    return DIRECT_METRICS[spec.metric](point, rngs, spec.options)
+
+
+def _run_direct(
+    scenario: Scenario,
+    scale: str,
+    seed: SeedLike,
+    jobs: int | None,
+    executor: Executor | None,
+) -> ScenarioRun:
+    scale_cfg = scenario.scale(scale)
+    points: list[dict[str, Any]] = []
+    for block in scale_cfg.blocks:
+        points.extend(block.points())
+    spec = scenario.metrics.metrics[0]
+    if spec.metric not in DIRECT_METRICS:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} references unknown direct metric "
+            f"{spec.metric!r}; available: {sorted(DIRECT_METRICS)}"
+        )
+    quota = scenario.rngs_per_point
+    rngs = spawn_rngs(seed, quota * len(points))
+    work = [
+        (spec, point, rngs[index * quota : (index + 1) * quota])
+        for index, point in enumerate(points)
+    ]
+    chosen = resolve_executor(executor, jobs)
+    workers = chosen.jobs
+    if workers > 1 and len(work) > 1:
+        # Points own pre-spawned generator slices, so farming them out cannot
+        # change any stream; map() preserves point order.  An explicit
+        # MultiprocessExecutor's start-method choice is honoured (a caller who
+        # picked "spawn" because forking their parent is unsafe must get
+        # spawn); otherwise default to MultiprocessExecutor's own platform
+        # logic rather than re-deriving it here.
+        if isinstance(chosen, MultiprocessExecutor):
+            start_method = chosen.start_method
+        else:
+            start_method = MultiprocessExecutor(workers).start_method
+        context = multiprocessing.get_context(start_method)
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(work)), mp_context=context
+        ) as pool:
+            records = list(pool.map(_evaluate_direct_point, work))
+    else:
+        records = [_evaluate_direct_point(item) for item in work]
+    return ScenarioRun(scenario=scenario, scale=scale, seed=seed, records=records)
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    scale: str = "default",
+    seed: SeedLike = None,
+    jobs: int | None = None,
+    executor: Executor | None = None,
+    shard_size: int | None = None,
+    checkpoint_dir: str | os.PathLike[str] | None = None,
+    progress: ProgressCallback | None = None,
+    aggregation: str = "full",
+    reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+) -> ScenarioRun:
+    """Run a scenario at a scale preset through the generic pipeline.
+
+    Parameters mirror :class:`~repro.montecarlo.runner.MonteCarloRunner`:
+    ``jobs=N`` (or an explicit ``executor``) fans work out over worker
+    processes with bit-identical results, ``checkpoint_dir`` persists
+    completed shards for crash/resume, ``aggregation="streaming"`` keeps O(1)
+    state per metric.  ``seed=None`` falls back to the scenario's
+    ``default_seed``.
+
+    Returns
+    -------
+    ScenarioRun
+        Sweep results (montecarlo mode) or point records (direct mode).
+    """
+    if seed is None:
+        seed = scenario.default_seed
+    if scenario.mode == "direct":
+        montecarlo_only = []
+        if shard_size is not None:
+            montecarlo_only.append("shard_size")
+        if checkpoint_dir is not None:
+            montecarlo_only.append("checkpoint_dir")
+        if progress is not None:
+            montecarlo_only.append("progress")
+        if aggregation != "full":
+            montecarlo_only.append("aggregation")
+        if reservoir_capacity != DEFAULT_RESERVOIR_CAPACITY:
+            montecarlo_only.append("reservoir_capacity")
+        if montecarlo_only:
+            raise ConfigurationError(
+                f"{', '.join(montecarlo_only)} apply to montecarlo-mode "
+                f"scenarios; {scenario.name!r} runs in direct mode"
+            )
+        return _run_direct(scenario, scale, seed, jobs, executor)
+
+    scale_cfg = scenario.scale(scale)
+    experiment = Experiment(
+        name=scenario.experiment_name or scenario.name,
+        trial=ScenarioTrial(scenario),
+        description=scenario.description,
+    )
+    shared_executor = resolve_executor(executor, jobs)
+    run = ScenarioRun(scenario=scenario, scale=scale, seed=seed)
+    total_blocks = len(scale_cfg.blocks)
+    for index, block in enumerate(scale_cfg.blocks):
+        runner = MonteCarloRunner(
+            stopping=FixedBudgetStopping(scale_cfg.repetitions),
+            seed=seed,
+            executor=shared_executor,
+            shard_size=shard_size,
+            checkpoint_dir=_block_checkpoint_dir(checkpoint_dir, index, total_blocks),
+            progress=progress,
+            aggregation=aggregation,
+            reservoir_capacity=reservoir_capacity,
+        )
+        sweep = ParameterSweep(
+            {key: list(values) for key, values in block.axes.items()},
+            constants=dict(block.constants),
+        )
+        run.sweeps.append(runner.run_sweep(experiment, sweep))
+        _LOGGER.debug(
+            "scenario %s: finished block %d/%d", scenario.name, index + 1, total_blocks
+        )
+    return run

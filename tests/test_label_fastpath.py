@@ -1,0 +1,154 @@
+"""The direct-to-CSR label-sampling fast path is bit-identical to the mapping path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import uniform_random_labels
+from repro.core.temporal_graph import TemporalGraph
+from repro.core.timearc_csr import build_timearc_csr_from_arrays
+from repro.exceptions import LabelingError, LifetimeError
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+
+CSR_FIELDS = (
+    "labels",
+    "arc_offsets",
+    "tails",
+    "heads",
+    "arc_order",
+    "edge_index",
+    "head_values",
+    "head_offsets",
+    "head_starts",
+)
+
+
+def _legacy(graph, matrix, lifetime):
+    labels = [tuple(sorted(set(row))) for row in matrix.tolist()]
+    return TemporalGraph(graph, labels, lifetime=lifetime)
+
+
+@pytest.mark.parametrize(
+    "graph, r",
+    [
+        (complete_graph(24, directed=True), 1),
+        (complete_graph(16, directed=False), 3),
+        (star_graph(20), 4),
+        (path_graph(12), 2),
+    ],
+    ids=["directed-clique", "undirected-clique", "star", "path"],
+)
+class TestFromLabelMatrixEquivalence:
+    def test_networks_are_bit_identical(self, graph, r):
+        rng = np.random.default_rng(42)
+        matrix = rng.integers(1, graph.n + 1, size=(graph.m, r))
+        legacy = _legacy(graph, matrix, graph.n)
+        fast = TemporalGraph.from_label_matrix(graph, matrix, lifetime=graph.n)
+
+        assert np.array_equal(legacy.time_arc_tails, fast.time_arc_tails)
+        assert np.array_equal(legacy.time_arc_heads, fast.time_arc_heads)
+        assert np.array_equal(legacy.time_arc_labels, fast.time_arc_labels)
+        assert np.array_equal(legacy.time_arc_edge_index, fast.time_arc_edge_index)
+        for field in CSR_FIELDS:
+            assert np.array_equal(
+                getattr(legacy.timearc_csr, field), getattr(fast.timearc_csr, field)
+            ), field
+        assert legacy == fast
+        assert hash(legacy) == hash(fast)
+
+    def test_label_queries_match(self, graph, r):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(1, graph.n + 1, size=(graph.m, r))
+        legacy = _legacy(graph, matrix, graph.n)
+        fast = TemporalGraph.from_label_matrix(graph, matrix, lifetime=graph.n)
+
+        assert fast.total_labels == legacy.total_labels
+        assert np.array_equal(fast.label_count_per_edge(), legacy.label_count_per_edge())
+        for edge_index in range(graph.m):
+            assert fast.labels_of_edge_index(edge_index) == legacy.labels_of_edge_index(
+                edge_index
+            )
+        assert list(fast.edge_label_items()) == list(legacy.edge_label_items())
+
+    def test_derived_networks_match(self, graph, r):
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(1, graph.n + 1, size=(graph.m, r))
+        legacy = _legacy(graph, matrix, graph.n)
+        fast = TemporalGraph.from_label_matrix(graph, matrix, lifetime=graph.n)
+        cutoff = max(1, graph.n // 2)
+        assert fast.restricted_to_max_label(cutoff) == legacy.restricted_to_max_label(cutoff)
+        assert fast.with_lifetime(graph.n + 5) == legacy.with_lifetime(graph.n + 5)
+
+
+class TestFromLabelMatrixValidation:
+    def test_one_dimensional_matrix_means_one_label_per_edge(self):
+        graph = path_graph(5)
+        draws = np.array([1, 2, 3, 4])
+        network = TemporalGraph.from_label_matrix(graph, draws, lifetime=5)
+        assert network.total_labels == 4
+
+    def test_wrong_row_count_rejected(self):
+        with pytest.raises(LabelingError):
+            TemporalGraph.from_label_matrix(path_graph(5), np.ones((2, 1), dtype=np.int64))
+
+    def test_non_positive_labels_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(LabelingError):
+            TemporalGraph.from_label_matrix(graph, np.array([[0], [1]]))
+
+    def test_labels_above_lifetime_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(LifetimeError):
+            TemporalGraph.from_label_matrix(graph, np.array([[1], [9]]), lifetime=4)
+
+    def test_default_lifetime_is_max_label(self):
+        graph = path_graph(3)
+        network = TemporalGraph.from_label_matrix(graph, np.array([[2], [6]]))
+        assert network.lifetime == 6
+
+    def test_duplicate_draws_collapse(self):
+        graph = path_graph(3)
+        network = TemporalGraph.from_label_matrix(graph, np.array([[2, 2, 2], [1, 3, 1]]))
+        assert network.labels_of_edge_index(0) == (2,)
+        assert network.labels_of_edge_index(1) == (1, 3)
+
+
+class TestUniformRandomLabelsUsesFastPath:
+    def test_same_network_as_explicit_draw_sequence(self):
+        graph = complete_graph(12, directed=True)
+        network = uniform_random_labels(graph, labels_per_edge=2, lifetime=12, seed=99)
+        rng = np.random.default_rng(99)
+        draws = rng.integers(1, 13, size=(graph.m, 2))
+        assert network == _legacy(graph, draws, 12)
+
+    def test_lazy_tuples_not_materialised_until_needed(self):
+        graph = complete_graph(8, directed=True)
+        network = uniform_random_labels(graph, seed=1)
+        assert network._edge_labels is None
+        network.timearc_csr  # kernels do not materialise the tuple view
+        assert network._edge_labels is None
+        network.labels_of_edge_index(0)  # API query does
+        assert network._edge_labels is not None
+
+
+class TestArrayLevelCsrBuilder:
+    def test_matches_network_level_builder(self):
+        graph = complete_graph(10, directed=True)
+        network = uniform_random_labels(graph, seed=5)
+        direct = build_timearc_csr_from_arrays(
+            network.n,
+            network.lifetime,
+            network.time_arc_tails,
+            network.time_arc_heads,
+            network.time_arc_labels,
+            network.time_arc_edge_index,
+        )
+        cached = network.timearc_csr
+        for field in CSR_FIELDS:
+            assert np.array_equal(getattr(direct, field), getattr(cached, field)), field
+
+    def test_empty_arrays(self):
+        empty = np.empty(0, dtype=np.int64)
+        csr = build_timearc_csr_from_arrays(4, 4, empty, empty, empty, empty)
+        assert csr.num_arcs == 0 and csr.num_groups == 0

@@ -1,0 +1,102 @@
+"""Scenario ↔ legacy parity: the shims are bit-identical to the pipeline.
+
+Every experiment entry point ``run(scale, seed)`` must produce exactly the
+same report as running its registered scenario through the generic
+:func:`repro.scenarios.run_scenario` pipeline and handing the result to the
+module's ``build_report`` — and both must be bit-identical under ``jobs=2``.
+This pins the contract that let the nine bespoke experiment modules become
+thin scenario definitions without changing a single published number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    exp_dissemination,
+    exp_er_connectivity,
+    exp_expansion,
+    exp_fcase,
+    exp_general_por,
+    exp_lifetime,
+    exp_multilabel,
+    exp_star_por,
+    exp_temporal_diameter,
+)
+from repro.experiments.registry import DESCRIPTIONS, EXPERIMENTS
+from repro.scenarios import experiment_scenarios, get_scenario, run_scenario
+
+MODULES = {
+    "E1": exp_temporal_diameter,
+    "E2": exp_lifetime,
+    "E3": exp_expansion,
+    "E4": exp_dissemination,
+    "E5": exp_star_por,
+    "E6": exp_general_por,
+    "E7": exp_er_connectivity,
+    "E8": exp_fcase,
+    "E9": exp_multilabel,
+}
+
+SEED = 1
+
+
+def _fingerprint(report):
+    """Everything numeric/textual a report publishes, as comparable data."""
+    return {
+        "records": [dict(record) for record in report.records],
+        "comparison": [dataclasses.asdict(row) for row in report.comparison],
+        "notes": report.notes,
+        "claim": report.claim,
+        "title": report.title,
+        "scale": report.scale,
+        "experiment_id": report.experiment_id,
+    }
+
+
+class TestRegistryDrift:
+    """A new experiment cannot land without a description and a scenario."""
+
+    def test_experiments_descriptions_and_scenarios_share_one_key_set(self):
+        assert set(EXPERIMENTS) == set(DESCRIPTIONS), (
+            "EXPERIMENTS and DESCRIPTIONS drifted apart"
+        )
+        assert set(EXPERIMENTS) == set(experiment_scenarios()), (
+            "the experiment registry and the scenario registry drifted apart: "
+            "every E<N> needs a registered scenario and vice versa"
+        )
+
+    def test_scenario_default_seeds_match_run_defaults(self):
+        import inspect
+
+        for eid, module in MODULES.items():
+            default_seed = inspect.signature(module.run).parameters["seed"].default
+            assert get_scenario(eid).default_seed == default_seed, eid
+
+    def test_every_run_entry_point_accepts_jobs(self):
+        import inspect
+
+        for eid, module in MODULES.items():
+            assert "jobs" in inspect.signature(module.run).parameters, (
+                f"{eid}.run must accept jobs= (parallel engine wiring)"
+            )
+
+
+@pytest.mark.parametrize("experiment_id", sorted(MODULES))
+class TestScenarioLegacyParity:
+    def test_legacy_run_matches_scenario_pipeline_bit_for_bit(self, experiment_id):
+        module = MODULES[experiment_id]
+        legacy = module.run("quick", seed=SEED)
+        scenario_result = run_scenario(
+            get_scenario(experiment_id), scale="quick", seed=SEED
+        )
+        rebuilt = module.build_report(scenario_result)
+        assert _fingerprint(legacy) == _fingerprint(rebuilt)
+
+    def test_jobs2_is_bit_identical_to_serial(self, experiment_id):
+        module = MODULES[experiment_id]
+        serial = module.run("quick", seed=SEED)
+        parallel = module.run("quick", seed=SEED, jobs=2)
+        assert _fingerprint(serial) == _fingerprint(parallel)
