@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Quickstart: build a random temporal clique and measure its temporal diameter.
+"""Quickstart: build a random temporal clique and analyse it with one handle.
 
 The "hostile clique" of the paper: every arc of the directed clique K_n is
 available at exactly one uniformly random time in {1, …, n}.  Despite that
 hostility, messages spread in Θ(log n) time (Theorem 4) — this script samples
-a few instances, measures the temporal diameter exactly and prints it next to
-log n and the n/2 direct-edge baseline.
+a few instances and reads several exact quantities of each through a single
+:class:`repro.NetworkAnalysis` handle, so each instance costs exactly one
+batched all-pairs sweep however many columns the table prints.
 
 Run:  python examples/quickstart.py [n]
 """
@@ -16,11 +17,11 @@ import math
 import sys
 
 from repro import (
+    NetworkAnalysis,
     complete_graph,
     flood_broadcast,
     foremost_journey,
     normalized_urtn,
-    temporal_diameter,
 )
 from repro.io.tables import format_table
 
@@ -30,13 +31,15 @@ def main(n: int = 128, instances: int = 5, seed: int = 2014) -> None:
     rows = []
     for instance in range(instances):
         network = normalized_urtn(clique, seed=seed + instance)
-        td = temporal_diameter(network)
+        analysis = NetworkAnalysis(network)  # one sweep feeds every column
         broadcast = flood_broadcast(network, source=0)
         rows.append(
             {
                 "instance": instance,
-                "temporal_diameter": td,
-                "TD / log n": td / math.log(n),
+                "temporal_diameter": analysis.diameter,
+                "TD / log n": analysis.diameter / math.log(n),
+                "radius": analysis.radius,
+                "mean_distance": round(analysis.average_distance, 2),
                 "broadcast_time_from_0": broadcast.broadcast_time,
                 "direct_wait_baseline": (n + 1) / 2,
             }

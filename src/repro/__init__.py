@@ -8,10 +8,10 @@ regenerates every quantitative claim of the paper.
 
 Quickstart
 ----------
->>> from repro import complete_graph, normalized_urtn, temporal_diameter
+>>> from repro import NetworkAnalysis, complete_graph, normalized_urtn
 >>> clique = complete_graph(64, directed=True)
->>> network = normalized_urtn(clique, seed=0)
->>> temporal_diameter(network) <= 64
+>>> analysis = NetworkAnalysis(normalized_urtn(clique, seed=0))
+>>> analysis.diameter <= 64 and analysis.is_temporally_connected
 True
 
 The public API re-exports the most commonly used pieces; the subpackages
@@ -79,6 +79,7 @@ from .core import (
     tree_broadcast_assignment,
     uniform_random_labels,
 )
+from .analysis_api import DistanceSummary, NetworkAnalysis, PorAudit, set_compute_hook
 from .montecarlo import (
     Experiment,
     MonteCarloRunner,
@@ -161,6 +162,11 @@ __all__ = [
     "price_of_randomness",
     "opt_labels_star",
     "por_upper_bound_theorem8",
+    # the per-instance analysis handle
+    "DistanceSummary",
+    "NetworkAnalysis",
+    "PorAudit",
+    "set_compute_hook",
     # monte carlo
     "Experiment",
     "MonteCarloRunner",

@@ -1,0 +1,26 @@
+"""The public per-instance compute API: the :class:`NetworkAnalysis` handle.
+
+This package is the one entry point for computing quantities of a single
+temporal-network instance.  Construct a :class:`NetworkAnalysis` from a
+:class:`~repro.core.temporal_graph.TemporalGraph` and read any derived
+quantity — the shared artifacts (arrival matrix, eccentricities, reachability
+mask, distance summary, expansion traces, PoR audits) are computed lazily and
+memoized, so however many views you read, each underlying sweep runs at most
+once.
+
+The historical free functions (``temporal_diameter``,
+``temporal_distance_summary``, ``is_temporally_connected``, …) remain as
+thin one-line delegates that construct a throwaway handle, so existing code
+keeps working bit-for-bit; new code — and anything reading more than one
+quantity per instance — should hold a handle.  ``docs/api.md`` documents the
+full surface and the migration mapping.
+"""
+
+from .handle import DistanceSummary, NetworkAnalysis, PorAudit, set_compute_hook
+
+__all__ = [
+    "DistanceSummary",
+    "NetworkAnalysis",
+    "PorAudit",
+    "set_compute_hook",
+]

@@ -1,0 +1,554 @@
+"""The :class:`NetworkAnalysis` handle — the single per-instance compute API.
+
+Every quantity the paper studies on one sampled instance — temporal diameter
+(Definition 5 / Theorem 4), eccentricities, reachability fraction, the
+``T_reach`` predicate (Definition 6), expansion-process runs (Theorem 3),
+Price of Randomness audits (Theorems 7–8) — is a view over the *same*
+all-pairs arrival structure produced by one batched
+:func:`repro.core.journeys.earliest_arrival_matrix` sweep.  The handle makes
+that sharing explicit: construct it once per instance and every quantity is a
+cached property or memoized method, so a multi-metric workload costs **one**
+sweep instead of one sweep per metric.
+
+>>> from repro import NetworkAnalysis, complete_graph, normalized_urtn
+>>> analysis = NetworkAnalysis(normalized_urtn(complete_graph(32, directed=True), seed=0))
+>>> analysis.diameter <= 32 and analysis.is_temporally_connected
+True
+
+Shared artifacts and what they feed
+-----------------------------------
+``arrival_matrix()``
+    The ``(n, n)`` earliest-arrival matrix — computed at most once, and the
+    substrate of everything below.
+``eccentricities()`` → ``diameter`` / ``radius``
+    Row maxima of the matrix.
+``reachability()`` → ``reachable_fraction`` / ``is_temporally_connected`` /
+``preserves_reachability()``
+    The boolean journey-existence mask (plus one static BFS pass for the
+    ``T_reach`` comparison).
+``summary``
+    The bundled :class:`DistanceSummary` (diameter, radius, average distance,
+    reachable fraction).
+``distances_from(sources)`` / ``distance(source, target)``
+    Row queries, answered from the cached matrix when it exists and from
+    memoized single-batch sweeps otherwise.
+``expansion(source, target)`` / ``por_audit()``
+    Algorithm 1 traces and Theorem 7/8 audits, memoized per argument set.
+
+Derived analyses
+----------------
+:meth:`NetworkAnalysis.restricted_to_max_label` returns a child handle over
+the labels-``≤ k`` subnetwork (the Theorem 5 construction).  When the parent's
+arrival matrix is already cached the child's is *derived* without a sweep:
+every label on a foremost journey is bounded by its arrival time (labels
+strictly increase), so ``δ_k(s, t) = δ(s, t)`` when ``δ(s, t) ≤ k`` and the
+pair is unreachable in the restriction otherwise.
+
+Instrumentation
+---------------
+:func:`set_compute_hook` installs a callback invoked as
+``hook(artifact, analysis)`` every time a shared artifact is *actually
+computed* (cache hits do not fire).  The test suite uses it to assert each
+artifact is computed at most once per trial; it is also a convenient probe for
+profiling cache behaviour in production pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import UNREACHABLE, as_vertex_array
+from ..core.journeys import earliest_arrival_matrix, earliest_arrival_times
+from ..core.temporal_graph import TemporalGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.expansion import ExpansionParameters, ExpansionResult
+
+__all__ = [
+    "DistanceSummary",
+    "NetworkAnalysis",
+    "PorAudit",
+    "set_compute_hook",
+]
+
+#: Artifact names reported to the compute hook, in dependency order.
+ARTIFACTS = (
+    "arrival_matrix",
+    "eccentricities",
+    "reachability",
+    "summary",
+    "static_reachability",
+    "source_rows",
+    "expansion",
+    "por_audit",
+)
+
+ComputeHook = Callable[[str, "NetworkAnalysis"], None]
+
+_compute_hook: ComputeHook | None = None
+
+
+def set_compute_hook(hook: ComputeHook | None) -> ComputeHook | None:
+    """Install a global artifact-computation callback; returns the previous one.
+
+    ``hook(artifact, analysis)`` fires each time a :class:`NetworkAnalysis`
+    actually computes a shared artifact (never on a cache hit).  Pass ``None``
+    to uninstall.  The hook is process-global, so multiprocess trial workers
+    each see their own (installed-at-fork or not at all).
+    """
+    global _compute_hook
+    previous = _compute_hook
+    _compute_hook = hook
+    return previous
+
+
+@dataclass(frozen=True, slots=True)
+class DistanceSummary:
+    """All-pairs distance statistics derived from one batched sweep.
+
+    Attributes
+    ----------
+    diameter:
+        ``max_{s,t} δ(s, t)``; :data:`~repro.types.UNREACHABLE` if some
+        ordered pair has no journey.
+    radius:
+        The minimum temporal eccentricity over all vertices.
+    average_distance:
+        Mean δ(s, t) over ordered pairs ``s ≠ t`` with a journey, or ``nan``
+        when no such pair exists.
+    reachable_fraction:
+        Fraction of ordered pairs ``s ≠ t`` connected by a journey.
+    """
+
+    diameter: int
+    radius: int
+    average_distance: float
+    reachable_fraction: float
+
+
+@dataclass(frozen=True, slots=True)
+class PorAudit:
+    """One Price-of-Randomness audit of an instance (Definitions 7–8).
+
+    Attributes
+    ----------
+    r:
+        Labels per edge the audit assumes (defaults to the instance's maximum
+        per-edge label count).
+    total_labels:
+        The paper's cost measure ``Σ_e |L_e|`` of this instance.
+    opt:
+        The ``OPT`` value the ratio divides by (the constructive upper bound
+        by default, making ``measured_por`` a conservative lower bound).
+    static_diameter:
+        Diameter ``d(G)`` of the underlying graph.
+    preserves_reachability:
+        Whether this instance satisfies ``T_reach`` (Definition 6).
+    measured_por:
+        ``m·r / OPT`` (Definition 8).
+    theorem8_bound:
+        The Theorem 8 upper bound ``2·d(G)·log n · m / (n − 1)``.
+    """
+
+    r: int
+    total_labels: int
+    opt: int
+    static_diameter: int
+    preserves_reachability: bool
+    measured_por: float
+    theorem8_bound: float
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+class NetworkAnalysis:
+    """Lazy, memoized analysis session over one :class:`TemporalGraph`.
+
+    The handle never mutates the network (label data is immutable after
+    construction), so its caches cannot go stale; :meth:`invalidate` exists
+    for callers who want to force recomputation anyway (e.g. after installing
+    a compute hook).  Arrays returned by the artifact accessors are read-only
+    views of the shared caches.
+    """
+
+    __slots__ = (
+        "_network",
+        "_matrix",
+        "_ecc",
+        "_reach",
+        "_summary",
+        "_preserves",
+        "_source_rows",
+        "_expansions",
+        "_por_audits",
+    )
+
+    def __init__(self, network: TemporalGraph) -> None:
+        if not isinstance(network, TemporalGraph):
+            raise ConfigurationError(
+                f"NetworkAnalysis wraps a TemporalGraph, got {type(network).__name__}"
+            )
+        self._network = network
+        self.invalidate()
+
+    # ------------------------------------------------------------------ #
+    # cache management
+    # ------------------------------------------------------------------ #
+    def invalidate(self) -> None:
+        """Drop every cached artifact so the next access recomputes it."""
+        self._matrix: np.ndarray | None = None
+        self._ecc: np.ndarray | None = None
+        self._reach: np.ndarray | None = None
+        self._summary: DistanceSummary | None = None
+        self._preserves: bool | None = None
+        self._source_rows: dict[int, np.ndarray] = {}
+        self._expansions: dict[tuple, "ExpansionResult"] = {}
+        self._por_audits: dict[tuple, PorAudit] = {}
+
+    def _computed(self, artifact: str) -> None:
+        if _compute_hook is not None:
+            _compute_hook(artifact, self)
+
+    # ------------------------------------------------------------------ #
+    # shared artifacts
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self) -> TemporalGraph:
+        """The temporal network this analysis session wraps."""
+        return self._network
+
+    @property
+    def n(self) -> int:
+        """Number of vertices of the underlying graph."""
+        return self._network.n
+
+    def arrival_matrix(self) -> np.ndarray:
+        """The full ``(n, n)`` earliest-arrival matrix (read-only, cached).
+
+        Entry ``[s, v]`` is δ(s, v): 0 on the diagonal,
+        :data:`~repro.types.UNREACHABLE` when no journey exists.  Computed by
+        one batched sweep on first access; every other all-pairs quantity of
+        the handle is a reduction of this array.
+        """
+        if self._matrix is None:
+            self._matrix = earliest_arrival_matrix(self._network)
+            self._computed("arrival_matrix")
+        return _read_only(self._matrix)
+
+    def eccentricities(self) -> np.ndarray:
+        """Temporal eccentricity of every vertex: ``max_v δ(s, v)`` (read-only).
+
+        The maximum includes unreachable targets, so a vertex that cannot
+        reach the whole graph has eccentricity
+        :data:`~repro.types.UNREACHABLE`.  The diagonal entries are 0 — the
+        minimum possible value, since every off-diagonal arrival is a label
+        ``≥ 1`` — so the row maximum needs no diagonal masking (and no O(n²)
+        matrix copy).
+        """
+        if self._ecc is None:
+            if self.n <= 1:
+                self._ecc = np.zeros(self.n, dtype=np.int64)
+            else:
+                self._ecc = np.asarray(self.arrival_matrix().max(axis=1))
+            self._computed("eccentricities")
+        return _read_only(self._ecc)
+
+    def reachability(self) -> np.ndarray:
+        """Boolean mask ``R[s, v]`` = "a journey from ``s`` to ``v`` exists".
+
+        The diagonal is ``True`` (the empty journey).  Read-only, cached.
+        """
+        if self._reach is None:
+            self._reach = self.arrival_matrix() < UNREACHABLE
+            self._computed("reachability")
+        return _read_only(self._reach)
+
+    @property
+    def summary(self) -> DistanceSummary:
+        """The bundled all-pairs statistics, from one shared sweep (cached)."""
+        if self._summary is None:
+            n = self.n
+            if n <= 1:
+                self._summary = DistanceSummary(
+                    diameter=0, radius=0, average_distance=0.0, reachable_fraction=1.0
+                )
+            else:
+                matrix = self.arrival_matrix()
+                ecc = self.eccentricities()
+                reach_mask = self.reachability().copy()
+                np.fill_diagonal(reach_mask, False)
+                reachable_pairs = int(reach_mask.sum())
+                if reachable_pairs:
+                    average = float(matrix[reach_mask].mean())
+                else:
+                    average = float("nan")
+                self._summary = DistanceSummary(
+                    diameter=int(ecc.max()),
+                    radius=int(ecc.min()),
+                    average_distance=average,
+                    reachable_fraction=reachable_pairs / float(n * (n - 1)),
+                )
+            self._computed("summary")
+        return self._summary
+
+    # ------------------------------------------------------------------ #
+    # derived scalar views
+    # ------------------------------------------------------------------ #
+    @property
+    def diameter(self) -> int:
+        """The temporal diameter ``max_{s,t} δ(s, t)`` of this instance.
+
+        Definition 5 defines the Temporal Diameter of the *random* clique as
+        the expectation of this quantity; the Monte-Carlo layer averages this
+        per-instance value.  Returns :data:`~repro.types.UNREACHABLE` when
+        some ordered pair has no journey.
+        """
+        return self.summary.diameter
+
+    @property
+    def radius(self) -> int:
+        """The minimum temporal eccentricity over all vertices."""
+        return self.summary.radius
+
+    @property
+    def average_distance(self) -> float:
+        """Mean δ(s, t) over ordered pairs ``s ≠ t`` with a journey (else nan)."""
+        return self.summary.average_distance
+
+    @property
+    def reachable_fraction(self) -> float:
+        """Fraction of ordered pairs ``s ≠ t`` connected by a journey."""
+        return self.summary.reachable_fraction
+
+    @property
+    def is_temporally_connected(self) -> bool:
+        """Whether every ordered pair of vertices is connected by a journey."""
+        if self.n <= 1:
+            return True
+        return self.summary.diameter < UNREACHABLE
+
+    # ------------------------------------------------------------------ #
+    # row queries
+    # ------------------------------------------------------------------ #
+    def distances_from(self, sources: Sequence[int] | None = None) -> np.ndarray:
+        """Temporal distances δ(s, v) for the requested sources (read-only).
+
+        ``sources=None`` returns the full cached all-pairs matrix.  With an
+        explicit source list the rows are sliced out of the cached matrix when
+        it exists; otherwise one batched sweep over just those sources is run
+        (and its rows memoized), so a narrow query never pays for all ``n``
+        sources.
+        """
+        if sources is None:
+            return self.arrival_matrix()
+        n = self.n
+        source_arr = as_vertex_array(sources, n)
+        if self._matrix is not None:
+            return _read_only(self._matrix[source_arr])
+        wanted = dict.fromkeys(int(s) for s in source_arr)
+        missing = [s for s in wanted if s not in self._source_rows]
+        if missing:
+            rows = earliest_arrival_matrix(self._network, missing)
+            for index, source in enumerate(missing):
+                self._source_rows[source] = rows[index]
+            self._computed("source_rows")
+        if source_arr.size == 0:
+            return np.empty((0, n), dtype=np.int64)
+        stacked = np.stack(
+            [self._source_rows[int(s)] for s in source_arr], axis=0
+        )
+        return _read_only(stacked)
+
+    def distance(self, source: int, target: int) -> int:
+        """Temporal distance δ(source, target) (:data:`~repro.types.UNREACHABLE`
+        when no journey exists).
+
+        Served from the cached all-pairs matrix when available; otherwise one
+        memoized single-source sweep.
+        """
+        n = self.n
+        target = int(as_vertex_array([target], n)[0])
+        source = int(as_vertex_array([source], n)[0])
+        if self._matrix is not None:
+            return int(self._matrix[source, target])
+        row = self._source_rows.get(source)
+        if row is None:
+            row = earliest_arrival_times(self._network, source)
+            self._source_rows[source] = row
+            self._computed("source_rows")
+        return int(row[target])
+
+    # ------------------------------------------------------------------ #
+    # reachability preservation (Definition 6)
+    # ------------------------------------------------------------------ #
+    def preserves_reachability(self) -> bool:
+        """The paper's ``T_reach`` property (Definition 6), memoized.
+
+        True when, for every ordered pair ``(u, v)``, a journey exists in
+        ``(G, L)`` exactly when a path exists in the underlying graph ``G`` —
+        i.e. the temporal reachability mask equals the static one.  (A journey
+        can only use labelled edges of ``G``, so a journey without a path
+        would mean label data inconsistent with the graph, which the
+        constructor forbids; the comparison checks both directions anyway.)
+        """
+        if self._preserves is None:
+            n = self.n
+            if n <= 1:
+                self._preserves = True
+            else:
+                self._preserves = bool(
+                    np.array_equal(
+                        self.reachability(), self._static_reachability_matrix()
+                    )
+                )
+            self._computed("static_reachability")
+        return self._preserves
+
+    def _static_reachability_matrix(self) -> np.ndarray:
+        """Boolean closure ``R[s, v]`` = "a static path from ``s`` to ``v``".
+
+        All sources are advanced together: one dense adjacency matrix and one
+        matmul per BFS level (float32, so the product runs on BLAS instead of
+        NumPy's scalar integer loops), instead of ``n`` per-source
+        Python-level BFS runs.  Levels are bounded by the static diameter, so
+        the clique substrates of the Monte-Carlo workloads finish in one step.
+        """
+        graph = self._network.graph
+        n = graph.n
+        adjacency = np.zeros((n, n), dtype=np.float32)
+        adjacency[graph.arc_tails, graph.arc_heads] = 1.0
+        reach = np.eye(n, dtype=bool)
+        frontier = reach
+        while True:
+            new = (frontier.astype(np.float32) @ adjacency > 0.0) & ~reach
+            if not new.any():
+                return reach
+            reach |= new
+            frontier = new
+
+    # ------------------------------------------------------------------ #
+    # expansion process (Algorithm 1) and PoR audits (Theorems 7–8)
+    # ------------------------------------------------------------------ #
+    def expansion(
+        self,
+        source: int,
+        target: int,
+        parameters: "ExpansionParameters | None" = None,
+    ) -> "ExpansionResult":
+        """Run Algorithm 1 between ``source`` and ``target`` (memoized).
+
+        Repeated calls with the same arguments return the cached
+        :class:`~repro.core.expansion.ExpansionResult` (the algorithm is
+        deterministic given the instance), so report builders can re-read the
+        layer traces for free.
+        """
+        from ..core.expansion import expansion_process
+
+        key = (int(source), int(target), parameters)
+        if key not in self._expansions:
+            self._expansions[key] = expansion_process(
+                self._network, int(source), int(target), parameters
+            )
+            self._computed("expansion")
+        return self._expansions[key]
+
+    def por_audit(self, r: int | None = None, *, opt: int | None = None) -> PorAudit:
+        """Price-of-Randomness audit of this instance (memoized per arguments).
+
+        Parameters
+        ----------
+        r:
+            Labels per edge to charge the random assignment for; defaults to
+            the instance's maximum per-edge label count.
+        opt:
+            The ``OPT`` denominator; defaults to the constructive upper bound
+            :func:`repro.core.price_of_randomness.opt_labels_upper_bound`,
+            which makes ``measured_por`` a conservative lower bound on the
+            true PoR.
+
+        Raises
+        ------
+        repro.exceptions.GraphError
+            If the underlying graph is disconnected (OPT is undefined).
+        """
+        key = (r, opt)
+        if key not in self._por_audits:
+            from ..core.price_of_randomness import (
+                opt_labels_upper_bound,
+                por_upper_bound_theorem8,
+                price_of_randomness,
+            )
+            from ..graphs.properties import diameter as static_diameter
+
+            network = self._network
+            if r is None:
+                counts = network.label_count_per_edge()
+                resolved_r = int(counts.max()) if counts.size else 0
+            else:
+                resolved_r = int(r)
+            if resolved_r < 1:
+                raise ConfigurationError(
+                    "por_audit needs at least one label per edge (r >= 1); "
+                    "this instance has none and no explicit r was given"
+                )
+            graph = network.graph
+            opt_value = int(opt) if opt is not None else opt_labels_upper_bound(graph)
+            d = static_diameter(graph)
+            self._por_audits[key] = PorAudit(
+                r=resolved_r,
+                total_labels=network.total_labels,
+                opt=opt_value,
+                static_diameter=d,
+                preserves_reachability=self.preserves_reachability(),
+                measured_por=price_of_randomness(graph, resolved_r, opt=opt_value),
+                theorem8_bound=por_upper_bound_theorem8(network.n, network.m, d),
+            )
+            self._computed("por_audit")
+        return self._por_audits[key]
+
+    # ------------------------------------------------------------------ #
+    # derived analyses
+    # ------------------------------------------------------------------ #
+    def restricted_to_max_label(self, max_label: int) -> "NetworkAnalysis":
+        """Analysis of the labels-``≤ max_label`` subnetwork (Theorem 5).
+
+        When this handle's arrival matrix is already cached the child's is
+        derived in O(n²) without a sweep: labels along a journey strictly
+        increase, so every label on a foremost journey is at most its arrival
+        time — hence ``δ_k(s, t) = δ(s, t)`` whenever ``δ(s, t) ≤ k``, and
+        the pair is unreachable in the restriction otherwise.
+        """
+        child = NetworkAnalysis(self._network.restricted_to_max_label(max_label))
+        if self._matrix is not None:
+            child._matrix = np.where(
+                self._matrix <= int(max_label), self._matrix, UNREACHABLE
+            )
+        return child
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        cached = [
+            name
+            for name, value in (
+                ("arrival_matrix", self._matrix),
+                ("eccentricities", self._ecc),
+                ("reachability", self._reach),
+                ("summary", self._summary),
+                ("static_reachability", self._preserves),
+            )
+            if value is not None
+        ]
+        return (
+            f"NetworkAnalysis(n={self.n}, lifetime={self._network.lifetime}, "
+            f"cached={cached})"
+        )

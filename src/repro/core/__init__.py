@@ -21,6 +21,12 @@ This subpackage implements:
   (:mod:`repro.core.guarantees`);
 * the Price of Randomness (:mod:`repro.core.price_of_randomness`);
 * lifetime-scaling analysis for Theorem 5 (:mod:`repro.core.lifetime`).
+
+The per-instance distance/reachability free functions in this package are
+thin delegates over :class:`repro.analysis_api.NetworkAnalysis` — the lazy,
+memoized analysis handle that shares one batched sweep across every quantity
+of an instance.  Hold a handle when reading more than one quantity
+(``docs/api.md`` has the migration table).
 """
 
 from .temporal_graph import TemporalGraph

@@ -1,29 +1,32 @@
 """All-pairs temporal distances and the temporal diameter (Definition 5).
 
-Every quantity in this module is a reduction of the batched arrival matrix
-produced by :func:`repro.core.journeys.earliest_arrival_matrix`: the full
-``(sources × vertices)`` arrival state is advanced one label group at a time
-over the cached :class:`~repro.core.timearc_csr.TimeArcCSR` layout, so
-all-pairs temporal distances cost a *single* sweep of the time arcs instead of
-``n`` independent single-source sweeps.  With the saturation early-exit this
-makes exact all-pairs distances on the normalized random clique for ``n`` in
-the hundreds take milliseconds; ``benchmarks/bench_temporal_diameter.py``
-tracks the speedup over the looped per-source path (kept here as
-:func:`temporal_distance_matrix_reference` for cross-validation).
+Every quantity in this module is a view over the per-instance arrival
+structure managed by :class:`repro.analysis_api.NetworkAnalysis`: the batched
+:func:`repro.core.journeys.earliest_arrival_matrix` sweep advances the full
+``(sources × vertices)`` arrival state one label group at a time over the
+cached :class:`~repro.core.timearc_csr.TimeArcCSR` layout, so all-pairs
+temporal distances cost a *single* sweep of the time arcs instead of ``n``
+independent single-source sweeps.
 
-For Monte-Carlo trials that need several statistics of the same instance,
-:func:`temporal_distance_summary` computes the diameter, radius, average
-distance and reachable fraction from one shared sweep.
+The free functions below are thin one-line delegates constructing a throwaway
+:class:`~repro.analysis_api.NetworkAnalysis`, kept for callers who want
+exactly one quantity of an instance.  Anything that reads **several**
+quantities of the same instance should hold one handle instead — the handle
+memoizes the sweep so every further quantity is a cheap derived view
+(``benchmarks/bench_analysis_cache.py`` gates the resulting speedup).  The
+looped per-source path is kept as :func:`temporal_distance_matrix_reference`
+for cross-validation; ``benchmarks/bench_temporal_diameter.py`` tracks the
+batched engine's speedup over it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from ..types import UNREACHABLE, as_vertex_array
+from ..analysis_api.handle import DistanceSummary, NetworkAnalysis
+from ..types import as_vertex_array
 from .journeys import earliest_arrival_matrix, earliest_arrival_times
 from .temporal_graph import TemporalGraph
 
@@ -61,6 +64,11 @@ def temporal_distance_matrix(
         ``(len(sources), n)`` ``int64`` matrix.  Entry ``[i, v]`` is the
         earliest arrival at ``v`` from ``sources[i]`` (0 on the diagonal,
         :data:`~repro.types.UNREACHABLE` when no journey exists).
+
+    See Also
+    --------
+    repro.analysis_api.NetworkAnalysis.distances_from : the memoizing
+        equivalent on an analysis handle.
     """
     return earliest_arrival_matrix(network, sources)
 
@@ -85,63 +93,19 @@ def temporal_distance_matrix_reference(
     return np.stack(rows, axis=0)
 
 
-@dataclass(frozen=True, slots=True)
-class DistanceSummary:
-    """All-pairs distance statistics derived from one batched sweep.
-
-    Attributes
-    ----------
-    diameter:
-        ``max_{s,t} δ(s, t)``; :data:`~repro.types.UNREACHABLE` if some
-        ordered pair has no journey.
-    radius:
-        The minimum temporal eccentricity over all vertices.
-    average_distance:
-        Mean δ(s, t) over ordered pairs ``s ≠ t`` with a journey, or ``nan``
-        when no such pair exists.
-    reachable_fraction:
-        Fraction of ordered pairs ``s ≠ t`` connected by a journey.
-    """
-
-    diameter: int
-    radius: int
-    average_distance: float
-    reachable_fraction: float
-
-
 def temporal_distance_summary(network: TemporalGraph) -> DistanceSummary:
     """Compute diameter, radius, average distance and reachability together.
 
-    One call to the batched engine feeds all four statistics, which is what
-    the Monte-Carlo trial functions want: sampling an instance and reading
-    several of its all-pairs quantities should cost one sweep, not one sweep
-    per quantity.
+    One call to the batched engine feeds all four statistics.  Equivalent to
+    ``NetworkAnalysis(network).summary``; hold the handle yourself if you need
+    any *further* quantity of the same instance.
 
     Returns
     -------
     DistanceSummary
         The bundled statistics for this instance.
     """
-    n = network.n
-    if n <= 1:
-        return DistanceSummary(
-            diameter=0, radius=0, average_distance=0.0, reachable_fraction=1.0
-        )
-    matrix = earliest_arrival_matrix(network)
-    off_diagonal = ~np.eye(n, dtype=bool)
-    ecc = np.where(off_diagonal, matrix, 0).max(axis=1)
-    reach_mask = off_diagonal & (matrix < UNREACHABLE)
-    reachable_pairs = int(reach_mask.sum())
-    if reachable_pairs:
-        average = float(matrix[reach_mask].mean())
-    else:
-        average = float("nan")
-    return DistanceSummary(
-        diameter=int(ecc.max()),
-        radius=int(ecc.min()),
-        average_distance=average,
-        reachable_fraction=reachable_pairs / float(n * (n - 1)),
-    )
+    return NetworkAnalysis(network).summary
 
 
 def temporal_eccentricities(network: TemporalGraph) -> np.ndarray:
@@ -149,15 +113,9 @@ def temporal_eccentricities(network: TemporalGraph) -> np.ndarray:
 
     The maximum includes unreachable targets, so a vertex that cannot reach
     the whole graph has eccentricity :data:`~repro.types.UNREACHABLE`.
+    Returns a read-only array (a view of the throwaway handle's cache).
     """
-    matrix = temporal_distance_matrix(network)
-    if network.n <= 1:
-        return np.zeros(network.n, dtype=np.int64)
-    # Exclude the diagonal (distance to self is 0 and would hide unreachability
-    # only in the degenerate n == 1 case anyway, but be explicit).
-    masked = matrix.copy()
-    np.fill_diagonal(masked, 0)
-    return masked.max(axis=1)
+    return NetworkAnalysis(network).eccentricities()
 
 
 def temporal_diameter(network: TemporalGraph) -> int:
@@ -170,16 +128,12 @@ def temporal_diameter(network: TemporalGraph) -> int:
     Returns :data:`~repro.types.UNREACHABLE` when some ordered pair has no
     journey.
     """
-    if network.n <= 1:
-        return 0
-    return int(temporal_eccentricities(network).max())
+    return NetworkAnalysis(network).diameter
 
 
 def temporal_radius(network: TemporalGraph) -> int:
     """The minimum temporal eccentricity over all vertices."""
-    if network.n <= 1:
-        return 0
-    return int(temporal_eccentricities(network).min())
+    return NetworkAnalysis(network).radius
 
 
 def average_temporal_distance(network: TemporalGraph) -> float:
@@ -187,6 +141,4 @@ def average_temporal_distance(network: TemporalGraph) -> float:
 
     Returns ``nan`` when no ordered pair is temporally reachable.
     """
-    if network.n <= 1:
-        return 0.0
-    return temporal_distance_summary(network).average_distance
+    return NetworkAnalysis(network).average_distance

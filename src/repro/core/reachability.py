@@ -7,20 +7,24 @@ reachability* of the underlying graph: the property
 temporal reachability; the general form compares against static reachability
 so disconnected underlying graphs are handled correctly too.
 
-All-pairs predicates are answered from one pass of the batched engine
+Every predicate is a one-line delegate to
+:class:`repro.analysis_api.NetworkAnalysis`, which answers all of them from
+one pass of the batched engine
 (:func:`repro.core.journeys.earliest_arrival_matrix` over the cached CSR
-time-arc layout) rather than ``n`` single-source sweeps, which matters because
-:func:`preserves_reachability` sits in the inner loop of the exhaustive OPT
-search of :mod:`repro.core.price_of_randomness`.
+time-arc layout) rather than ``n`` single-source sweeps — this matters
+because :func:`preserves_reachability` sits in the inner loop of the
+exhaustive OPT search of :mod:`repro.core.price_of_randomness`.  Callers that
+read several reachability/distance quantities of the same instance should
+hold one handle instead of calling several free functions.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..graphs.properties import bfs_distances
+from ..analysis_api.handle import NetworkAnalysis
 from ..types import UNREACHABLE
-from .journeys import earliest_arrival_matrix, earliest_arrival_times
+from .journeys import earliest_arrival_times
 from .temporal_graph import TemporalGraph
 
 __all__ = [
@@ -35,9 +39,10 @@ __all__ = [
 def reachability_matrix(network: TemporalGraph) -> np.ndarray:
     """Boolean matrix ``R[s, v]`` = "a journey from ``s`` to ``v`` exists".
 
-    The diagonal is ``True`` (the empty journey).
+    The diagonal is ``True`` (the empty journey).  Returns a read-only array
+    (a view of the throwaway handle's cache).
     """
-    return earliest_arrival_matrix(network) < UNREACHABLE
+    return NetworkAnalysis(network).reachability()
 
 
 def reachable_set(network: TemporalGraph, source: int) -> np.ndarray:
@@ -52,17 +57,12 @@ def reachable_fraction(network: TemporalGraph) -> float:
     Equals 1.0 exactly when the network is temporally connected; a useful
     soft metric when sweeping the number of labels per edge.
     """
-    n = network.n
-    if n <= 1:
-        return 1.0
-    reach = reachability_matrix(network)
-    off_diagonal = reach.sum() - n  # the diagonal is always True
-    return float(off_diagonal) / float(n * (n - 1))
+    return NetworkAnalysis(network).reachable_fraction
 
 
 def is_temporally_connected(network: TemporalGraph) -> bool:
     """Whether every ordered pair of vertices is connected by a journey."""
-    return bool(reachability_matrix(network).all())
+    return NetworkAnalysis(network).is_temporally_connected
 
 
 def preserves_reachability(network: TemporalGraph) -> bool:
@@ -70,21 +70,5 @@ def preserves_reachability(network: TemporalGraph) -> bool:
 
     True when, for every ordered pair ``(u, v)``, a journey exists in
     ``(G, L)`` exactly when a path exists in the underlying graph ``G``.
-    A journey can only use labelled edges of ``G``, so the interesting
-    direction is "path implies journey"; the converse can only fail if the
-    label data were inconsistent with the graph, which the constructor forbids.
     """
-    n = network.n
-    if n <= 1:
-        return True
-    temporal_reach = reachability_matrix(network)
-    graph = network.graph
-    for source in range(n):
-        static_reachable = bfs_distances(graph, source) >= 0
-        if not np.array_equal(temporal_reach[source] | ~static_reachable,
-                              np.ones(n, dtype=bool)):
-            return False
-        # Sanity: a journey should never exist where no static path does.
-        if np.any(temporal_reach[source] & ~static_reachable):
-            return False
-    return True
+    return NetworkAnalysis(network).preserves_reachability()

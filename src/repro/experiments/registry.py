@@ -7,10 +7,13 @@ chosen scale and writes the combined EXPERIMENTS.md report.
 A second command family drives the declarative scenario layer directly::
 
     repro-experiments scenario list
+    repro-experiments scenario show E5
     repro-experiments scenario run hypercube-urtn-diameter --scale quick --jobs 4
     repro-experiments scenario sweep er-fcase-reachability --set n=64,128 --set r=2,8
 
-``scenario run`` executes any registry entry — experiment-backed or not —
+``scenario show`` prints an entry's JSON spec (redirect it to a file and
+``read_scenario_json`` rebuilds the scenario); ``scenario run`` executes any
+registry entry — experiment-backed or not —
 through the one generic pipeline; ``scenario sweep`` does the same after
 overriding sweep axes from the command line, which is how a brand-new
 workload point is probed without touching any code.
@@ -173,6 +176,12 @@ def _build_scenario_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list every registered scenario")
 
+    show_parser = sub.add_parser(
+        "show",
+        help="print a scenario's JSON spec (read_scenario_json round-trips it)",
+    )
+    show_parser.add_argument("name", help="scenario name (see 'scenario list')")
+
     def add_run_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("name", help="scenario name (see 'scenario list')")
         p.add_argument(
@@ -282,11 +291,21 @@ def _scenario_run(args: argparse.Namespace, overrides: dict[str, list[Any]]) -> 
     return 0
 
 
+def _scenario_show(name: str) -> int:
+    """Print the scenario's JSON spec — the exact text
+    :func:`repro.io.serialization.read_scenario_json` rebuilds the scenario
+    from, so ``scenario show X > x.json`` yields a runnable workload file."""
+    print(get_scenario(name).to_json())
+    return 0
+
+
 def _scenario_main(argv: Sequence[str]) -> int:
     parser = _build_scenario_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
         return _scenario_list()
+    if args.command == "show":
+        return _scenario_show(args.name)
     overrides = _parse_overrides(getattr(args, "overrides", []))
     return _scenario_run(args, overrides)
 

@@ -28,14 +28,13 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from ..analysis.bounds import expected_direct_wait
+from ..analysis_api import NetworkAnalysis
 from ..core.dissemination import flood_broadcast, push_phone_call_broadcast
-from ..core.distances import temporal_diameter, temporal_distance_summary
-from ..core.expansion import ExpansionParameters, expansion_process
+from ..core.expansion import ExpansionParameters
 from ..core.guarantees import (
     minimal_labels_for_reachability,
     reachability_probability,
 )
-from ..core.journeys import temporal_distance
 from ..core.labeling import box_assignment
 from ..core.lifetime import (
     prefix_connectivity_time,
@@ -72,7 +71,13 @@ __all__ = [
 
 @dataclass
 class TrialContext:
-    """Everything a trial metric may read (and the RNG it may consume)."""
+    """Everything a trial metric may read (and the RNG it may consume).
+
+    ``analysis`` is the trial's shared :class:`~repro.analysis_api.NetworkAnalysis`
+    handle, built lazily by :meth:`require_analysis`: every metric of a suite
+    reads the same memoized arrival structure, so a multi-metric suite costs
+    one batched sweep instead of one per metric.
+    """
 
     graph: StaticGraph | None
     network: TemporalGraph | None
@@ -80,6 +85,7 @@ class TrialContext:
     rng: np.random.Generator
     metrics: dict[str, float] = field(default_factory=dict)
     extras: Mapping[str, Any] = field(default_factory=dict)
+    analysis: NetworkAnalysis | None = None
 
     def require_network(self, metric: str) -> TemporalGraph:
         """The sampled network, or a clear error for metric/model mismatches."""
@@ -89,6 +95,20 @@ class TrialContext:
                 "scenario's label model produced none"
             )
         return self.network
+
+    def require_analysis(self, metric: str) -> NetworkAnalysis:
+        """The trial's shared analysis handle over the sampled network.
+
+        Built on first use and reused by every later metric of the suite, so
+        shared artifacts (the batched arrival sweep above all) are computed at
+        most once per trial.  Raises the same
+        :class:`~repro.exceptions.ConfigurationError` as
+        :meth:`require_network` when the label model produced no network.
+        """
+        network = self.require_network(metric)
+        if self.analysis is None:
+            self.analysis = NetworkAnalysis(network)
+        return self.analysis
 
 
 MetricFunction = Callable[[TrialContext, Mapping[str, Any]], Mapping[str, float]]
@@ -118,9 +138,10 @@ def _metric_distance_summary(
 
     ``options["fields"]`` selects which statistics to emit (default: the
     temporal diameter and the mean distance over reachable pairs); all come
-    from the same single :func:`temporal_distance_summary` call.
+    from the trial's shared :class:`~repro.analysis_api.NetworkAnalysis`
+    handle, i.e. from one memoized batched sweep.
     """
-    summary = temporal_distance_summary(ctx.require_network("distance_summary"))
+    summary = ctx.require_analysis("distance_summary").summary
     fields = options.get("fields", ["temporal_diameter", "mean_temporal_distance"])
     out: dict[str, float] = {}
     for name in fields:
@@ -140,7 +161,7 @@ def _metric_temporal_diameter(
     del options
     return {
         "temporal_diameter": float(
-            temporal_diameter(ctx.require_network("temporal_diameter"))
+            ctx.require_analysis("temporal_diameter").diameter
         )
     }
 
@@ -195,15 +216,15 @@ def _metric_expansion_process(
 ) -> dict[str, float]:
     """Algorithm 1 between a random pair, plus the exact foremost arrival."""
     del options
-    network = ctx.require_network("expansion_process")
-    n = network.n
+    analysis = ctx.require_analysis("expansion_process")
+    n = analysis.n
     parameters = ExpansionParameters.suggest(
         n,
         c1=float(ctx.params.get("c1", 3.0)),
         c2=float(ctx.params.get("c2", 8.0)),
     )
     source, target = ctx.rng.choice(n, size=2, replace=False)
-    result = expansion_process(network, int(source), int(target), parameters)
+    result = analysis.expansion(int(source), int(target), parameters)
     metrics: dict[str, float] = {
         "success": 1.0 if result.success else 0.0,
         "time_bound": result.time_bound,
@@ -215,7 +236,7 @@ def _metric_expansion_process(
         metrics["arrival_time"] = float(result.arrival_time)
         metrics["journey_hops"] = float(result.journey.hops)
         metrics["optimal_arrival"] = float(
-            temporal_distance(network, int(source), int(target))
+            analysis.distance(int(source), int(target))
         )
     return metrics
 
@@ -258,7 +279,7 @@ def _metric_strong_reachability(
     del options
     return {
         "reachable": 1.0
-        if preserves_reachability(ctx.require_network("strong_reachability"))
+        if ctx.require_analysis("strong_reachability").preserves_reachability()
         else 0.0
     }
 

@@ -1,0 +1,346 @@
+"""Tests for the :class:`repro.analysis_api.NetworkAnalysis` handle.
+
+Covers: equality with the historical free functions, the compute-once
+memoization contract (asserted through the counting hook, including through
+the scenario ``TrialContext`` used by every Monte-Carlo trial), derived
+restricted analyses, row queries, expansion/PoR memoization and cache
+control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.analysis_api as analysis_api
+from repro import (
+    NetworkAnalysis,
+    UNREACHABLE,
+    complete_graph,
+    expansion_process,
+    is_temporally_connected,
+    normalized_urtn,
+    opt_labels_star,
+    preserves_reachability,
+    price_of_randomness,
+    star_graph,
+    temporal_diameter,
+    temporal_distance,
+    temporal_distance_matrix,
+    temporal_distance_summary,
+    uniform_random_labels,
+)
+from repro.core.distances import (
+    average_temporal_distance,
+    temporal_eccentricities,
+    temporal_radius,
+)
+from repro.core.reachability import reachability_matrix, reachable_fraction
+from repro.exceptions import ConfigurationError
+from repro.scenarios.metrics import METRICS, TrialContext
+from repro.scenarios.specs import MetricSpec
+from repro.types import Journey
+
+
+@pytest.fixture
+def clique_network():
+    return normalized_urtn(complete_graph(24, directed=True), seed=7)
+
+
+@pytest.fixture
+def counting_hook():
+    """Install a per-artifact compute counter for the duration of a test."""
+    counts: dict[str, int] = {}
+    previous = analysis_api.set_compute_hook(
+        lambda artifact, analysis: counts.__setitem__(
+            artifact, counts.get(artifact, 0) + 1
+        )
+    )
+    yield counts
+    analysis_api.set_compute_hook(previous)
+
+
+class TestHandleMatchesFreeFunctions:
+    def test_scalar_views(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        assert analysis.diameter == temporal_diameter(clique_network)
+        assert analysis.radius == temporal_radius(clique_network)
+        assert analysis.average_distance == average_temporal_distance(clique_network)
+        assert analysis.is_temporally_connected == is_temporally_connected(
+            clique_network
+        )
+        assert analysis.summary == temporal_distance_summary(clique_network)
+
+    def test_array_views(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        assert np.array_equal(
+            analysis.arrival_matrix(), temporal_distance_matrix(clique_network)
+        )
+        assert np.array_equal(
+            analysis.eccentricities(), temporal_eccentricities(clique_network)
+        )
+        assert np.array_equal(
+            analysis.reachability(), reachability_matrix(clique_network)
+        )
+        assert analysis.reachable_fraction == reachable_fraction(clique_network)
+
+    def test_preserves_reachability_matches(self):
+        for seed in range(6):
+            network = uniform_random_labels(
+                star_graph(9), labels_per_edge=1, lifetime=9, seed=seed
+            )
+            assert NetworkAnalysis(network).preserves_reachability() == (
+                preserves_reachability(network)
+            )
+
+    def test_partially_unreachable_instance(self):
+        # A path with one label per edge in the "wrong" order: unreachable pairs.
+        from repro.core.temporal_graph import TemporalGraph
+        from repro import path_graph
+
+        network = TemporalGraph(path_graph(4), [(3,), (2,), (1,)])
+        analysis = NetworkAnalysis(network)
+        assert analysis.diameter == UNREACHABLE
+        assert not analysis.is_temporally_connected
+        assert not analysis.preserves_reachability()
+        assert analysis.reachable_fraction < 1.0
+
+    def test_trivial_networks(self):
+        from repro.core.temporal_graph import TemporalGraph
+        from repro.graphs.static_graph import StaticGraph
+
+        single = TemporalGraph(StaticGraph(1, []), [])
+        analysis = NetworkAnalysis(single)
+        assert analysis.diameter == 0
+        assert analysis.radius == 0
+        assert analysis.average_distance == 0.0
+        assert analysis.reachable_fraction == 1.0
+        assert analysis.is_temporally_connected
+        assert analysis.preserves_reachability()
+        assert np.array_equal(analysis.eccentricities(), np.zeros(1, dtype=np.int64))
+
+    def test_rejects_non_network(self):
+        with pytest.raises(ConfigurationError):
+            NetworkAnalysis(complete_graph(4))
+
+
+class TestMemoization:
+    def test_each_artifact_computed_at_most_once(self, clique_network, counting_hook):
+        analysis = NetworkAnalysis(clique_network)
+        for _ in range(3):
+            analysis.diameter
+            analysis.radius
+            analysis.average_distance
+            analysis.reachable_fraction
+            analysis.is_temporally_connected
+            analysis.eccentricities()
+            analysis.reachability()
+            analysis.arrival_matrix()
+            analysis.preserves_reachability()
+        assert counting_hook == {
+            "arrival_matrix": 1,
+            "eccentricities": 1,
+            "reachability": 1,
+            "summary": 1,
+            "static_reachability": 1,
+        }
+
+    def test_invalidate_forces_recompute(self, clique_network, counting_hook):
+        analysis = NetworkAnalysis(clique_network)
+        before = analysis.diameter
+        analysis.invalidate()
+        assert analysis.diameter == before
+        assert counting_hook["arrival_matrix"] == 2
+
+    def test_set_compute_hook_returns_previous(self):
+        first = lambda artifact, analysis: None  # noqa: E731
+        assert analysis_api.set_compute_hook(first) is None
+        assert analysis_api.set_compute_hook(None) is first
+
+    def test_returned_arrays_are_read_only(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        for array in (
+            analysis.arrival_matrix(),
+            analysis.eccentricities(),
+            analysis.reachability(),
+            analysis.distances_from([0, 1]),
+        ):
+            with pytest.raises(ValueError):
+                array[0] = 0
+
+    def test_expansion_memoized_and_matches_free_function(
+        self, clique_network, counting_hook
+    ):
+        analysis = NetworkAnalysis(clique_network)
+        first = analysis.expansion(0, 5)
+        again = analysis.expansion(0, 5)
+        assert first is again
+        assert counting_hook.get("expansion") == 1
+        direct = expansion_process(clique_network, 0, 5)
+        assert first.success == direct.success
+        assert first.forward_layer_sizes == direct.forward_layer_sizes
+
+    def test_por_audit_memoized(self, counting_hook):
+        network = uniform_random_labels(
+            star_graph(12), labels_per_edge=4, lifetime=12, seed=3
+        )
+        analysis = NetworkAnalysis(network)
+        audit = analysis.por_audit()
+        assert analysis.por_audit() is audit
+        assert counting_hook.get("por_audit") == 1
+        assert audit.r == 4
+        assert audit.total_labels == network.total_labels
+        assert audit.measured_por == price_of_randomness(
+            network.graph, 4, opt=audit.opt
+        )
+        # explicit arguments form their own memo entries
+        explicit = analysis.por_audit(8, opt=opt_labels_star(12))
+        assert explicit.r == 8
+        assert explicit.opt == opt_labels_star(12)
+        assert counting_hook["por_audit"] == 2
+
+    def test_por_audit_requires_labels(self):
+        from repro.core.temporal_graph import TemporalGraph
+
+        empty = TemporalGraph(star_graph(4), {})
+        with pytest.raises(ConfigurationError, match="r >= 1"):
+            NetworkAnalysis(empty).por_audit()
+
+
+class TestRowQueries:
+    def test_distances_from_slices_cached_matrix(self, clique_network, counting_hook):
+        analysis = NetworkAnalysis(clique_network)
+        full = analysis.arrival_matrix()
+        rows = analysis.distances_from([3, 0])
+        assert np.array_equal(rows, full[[3, 0]])
+        assert "source_rows" not in counting_hook
+
+    def test_distances_from_without_matrix_uses_memoized_rows(
+        self, clique_network, counting_hook
+    ):
+        analysis = NetworkAnalysis(clique_network)
+        rows = analysis.distances_from([2, 4])
+        assert counting_hook == {"source_rows": 1}
+        again = analysis.distances_from([4, 2])
+        assert counting_hook == {"source_rows": 1}  # served from the row cache
+        assert np.array_equal(rows[::-1], again)
+        assert np.array_equal(rows, temporal_distance_matrix(clique_network, [2, 4]))
+
+    def test_distance_matches_temporal_distance(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        assert analysis.distance(1, 6) == temporal_distance(clique_network, 1, 6)
+        analysis.arrival_matrix()
+        assert analysis.distance(1, 6) == temporal_distance(clique_network, 1, 6)
+
+    def test_distances_from_none_is_full_matrix(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        assert np.array_equal(
+            analysis.distances_from(), temporal_distance_matrix(clique_network)
+        )
+
+    def test_invalid_source_rejected(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        with pytest.raises(ValueError):
+            analysis.distances_from([99])
+        with pytest.raises(ValueError):
+            analysis.distance(0, 99)
+
+
+class TestRestrictedAnalysis:
+    def test_derived_matrix_matches_fresh_computation(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        analysis.arrival_matrix()
+        for k in (3, analysis.diameter, clique_network.lifetime):
+            derived = analysis.restricted_to_max_label(k)
+            fresh = NetworkAnalysis(clique_network.restricted_to_max_label(k))
+            assert np.array_equal(derived.arrival_matrix(), fresh.arrival_matrix())
+
+    def test_derivation_skips_the_sweep(self, clique_network, counting_hook):
+        analysis = NetworkAnalysis(clique_network)
+        analysis.arrival_matrix()
+        child = analysis.restricted_to_max_label(5)
+        child.diameter  # reductions run, but no second arrival sweep
+        assert counting_hook["arrival_matrix"] == 1
+
+    def test_without_cached_matrix_child_computes_its_own(
+        self, clique_network, counting_hook
+    ):
+        analysis = NetworkAnalysis(clique_network)
+        child = analysis.restricted_to_max_label(5)
+        child.arrival_matrix()
+        assert counting_hook["arrival_matrix"] == 1  # the child's, not the parent's
+
+    def test_child_wraps_restricted_network(self, clique_network):
+        child = NetworkAnalysis(clique_network).restricted_to_max_label(4)
+        assert child.network.time_arc_labels.size == int(
+            (clique_network.time_arc_labels <= 4).sum()
+        )
+
+
+class TestTrialContextSharing:
+    SUITE = (
+        MetricSpec("temporal_diameter"),
+        MetricSpec(
+            "distance_summary",
+            {"fields": ["mean_temporal_distance", "temporal_radius"]},
+        ),
+        MetricSpec("ratio_to_log_n"),
+        MetricSpec("strong_reachability"),
+    )
+
+    def _run_suite(self, network) -> tuple[dict[str, float], TrialContext]:
+        ctx = TrialContext(
+            graph=network.graph,
+            network=network,
+            params={"n": network.n},
+            rng=np.random.default_rng(0),
+        )
+        for spec in self.SUITE:
+            ctx.metrics.update(METRICS[spec.metric](ctx, spec.options))
+        return dict(ctx.metrics), ctx
+
+    def test_multi_metric_suite_computes_each_artifact_once(
+        self, clique_network, counting_hook
+    ):
+        metrics, ctx = self._run_suite(clique_network)
+        assert counting_hook == {
+            "arrival_matrix": 1,
+            "eccentricities": 1,
+            "reachability": 1,
+            "summary": 1,
+            "static_reachability": 1,
+        }
+        assert ctx.analysis is not None
+        assert metrics["temporal_diameter"] == float(temporal_diameter(clique_network))
+
+    def test_require_analysis_reuses_one_handle(self, clique_network):
+        ctx = TrialContext(
+            graph=clique_network.graph,
+            network=clique_network,
+            params={},
+            rng=np.random.default_rng(0),
+        )
+        first = ctx.require_analysis("temporal_diameter")
+        assert ctx.require_analysis("strong_reachability") is first
+
+    def test_require_analysis_without_network_raises(self):
+        ctx = TrialContext(
+            graph=None, network=None, params={}, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ConfigurationError, match="temporal_diameter"):
+            ctx.require_analysis("temporal_diameter")
+
+    def test_expansion_metric_journey_still_reconstructable(self):
+        network = normalized_urtn(complete_graph(32, directed=True), seed=11)
+        ctx = TrialContext(
+            graph=network.graph,
+            network=network,
+            params={"n": 32},
+            rng=np.random.default_rng(5),
+        )
+        metrics = METRICS["expansion_process"](ctx, {})
+        assert set(metrics) >= {"success", "time_bound", "sqrt_n"}
+        if metrics["success"]:
+            assert metrics["optimal_arrival"] <= metrics["arrival_time"]
+        # the trace is memoized on the shared handle
+        assert ctx.analysis is not None and ctx.analysis._expansions

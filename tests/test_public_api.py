@@ -3,10 +3,25 @@
 from __future__ import annotations
 
 import importlib
+import re
+from pathlib import Path
 
 import pytest
 
 import repro
+import repro.analysis_api
+
+API_DOC = Path(__file__).resolve().parent.parent / "docs" / "api.md"
+
+
+def _documented_names(heading_fragment: str) -> set[str]:
+    """Backticked bullet names under the ``## <heading>`` containing the fragment."""
+    text = API_DOC.read_text(encoding="utf-8")
+    sections = re.split(r"^## ", text, flags=re.MULTILINE)
+    for section in sections:
+        if heading_fragment in section.splitlines()[0]:
+            return set(re.findall(r"^- `([A-Za-z_][A-Za-z0-9_]*)`", section, re.MULTILINE))
+    raise AssertionError(f"docs/api.md has no '## …{heading_fragment}…' section")
 
 
 def test_version_is_exposed():
@@ -16,6 +31,38 @@ def test_version_is_exposed():
 def test_all_names_resolve():
     for name in repro.__all__:
         assert hasattr(repro, name), f"repro.__all__ lists {name} but it is missing"
+
+
+class TestApiDocDrift:
+    """`__all__` must exactly match the surface documented in docs/api.md."""
+
+    def test_api_doc_exists(self):
+        assert API_DOC.is_file(), "docs/api.md is the documented public surface"
+
+    def test_top_level_all_matches_documented_surface(self):
+        documented = _documented_names("Top-level exports")
+        actual = set(repro.__all__)
+        assert documented == actual, (
+            f"docs/api.md and repro.__all__ drifted apart; "
+            f"undocumented: {sorted(actual - documented)}; "
+            f"stale in docs: {sorted(documented - actual)}"
+        )
+
+    def test_analysis_api_all_matches_documented_surface(self):
+        documented = _documented_names("Analysis-handle exports")
+        actual = set(repro.analysis_api.__all__)
+        assert documented == actual, (
+            f"docs/api.md and repro.analysis_api.__all__ drifted apart; "
+            f"undocumented: {sorted(actual - documented)}; "
+            f"stale in docs: {sorted(documented - actual)}"
+        )
+
+    def test_analysis_api_all_names_resolve(self):
+        for name in repro.analysis_api.__all__:
+            assert hasattr(repro.analysis_api, name)
+            assert hasattr(repro, name), (
+                f"analysis_api export {name} must also be re-exported at top level"
+            )
 
 
 def test_quickstart_snippet_from_docstring():

@@ -63,6 +63,23 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--scale", "enormous"])
 
+    def test_scenario_show_prints_round_trippable_json(self, tmp_path, capsys):
+        from repro.io.serialization import read_scenario_json
+        from repro.scenarios import get_scenario
+
+        exit_code = main(["scenario", "show", "E5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        path = tmp_path / "e5.json"
+        path.write_text(captured.out, encoding="utf-8")
+        assert read_scenario_json(path) == get_scenario("E5")
+
+    def test_scenario_show_unknown_name_fails(self, capsys):
+        exit_code = main(["scenario", "show", "no-such-scenario"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error" in captured.err
+
     def test_help_mentions_experiments(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])

@@ -359,3 +359,84 @@ class TestScenarioCli:
         assert _parse_axis_value("8") == 8
         assert _parse_axis_value("0.5") == 0.5
         assert _parse_axis_value("zipf") == "zipf"
+
+
+class TestTrialContextAndMetricValidation:
+    """Error paths of ``require_network``/``require_analysis`` and the
+    metric-options validation messages."""
+
+    @staticmethod
+    def _context(network=None, graph=None, extras=None, metrics=None):
+        from repro.scenarios.metrics import TrialContext
+
+        return TrialContext(
+            graph=graph,
+            network=network,
+            params={"n": 8},
+            rng=np.random.default_rng(0),
+            metrics=dict(metrics or {}),
+            extras=dict(extras or {}),
+        )
+
+    @staticmethod
+    def _clique_network(n=8, seed=0):
+        from repro import complete_graph, normalized_urtn
+
+        return normalized_urtn(complete_graph(n, directed=True), seed=seed)
+
+    def test_require_network_error_names_metric_and_cause(self):
+        ctx = self._context()
+        with pytest.raises(ConfigurationError) as excinfo:
+            ctx.require_network("strong_reachability")
+        message = str(excinfo.value)
+        assert "'strong_reachability'" in message
+        assert "label model" in message
+
+    def test_require_network_returns_the_sampled_network(self):
+        network = self._clique_network()
+        ctx = self._context(network=network)
+        assert ctx.require_network("temporal_diameter") is network
+
+    def test_require_analysis_propagates_missing_network_error(self):
+        ctx = self._context()
+        with pytest.raises(ConfigurationError, match="'distance_summary'"):
+            ctx.require_analysis("distance_summary")
+        assert ctx.analysis is None
+
+    def test_every_network_metric_raises_without_network(self):
+        network_metrics = (
+            "distance_summary", "temporal_diameter", "ratio_to_log_n",
+            "direct_wait_baseline", "theorem5_scaled_bound",
+            "prefix_connectivity", "expansion_process", "flood_vs_phone_call",
+            "flood_time", "strong_reachability", "total_labels",
+        )
+        for name in network_metrics:
+            with pytest.raises(ConfigurationError):
+                METRICS[name](self._context(), {})
+
+    def test_distance_summary_unknown_field_message_lists_available(self):
+        ctx = self._context(network=self._clique_network())
+        with pytest.raises(ConfigurationError) as excinfo:
+            METRICS["distance_summary"](ctx, {"fields": ["no_such_field"]})
+        message = str(excinfo.value)
+        assert "'no_such_field'" in message
+        assert "temporal_diameter" in message and "reachable_fraction" in message
+
+    def test_distance_summary_selects_exactly_requested_fields(self):
+        ctx = self._context(network=self._clique_network())
+        out = METRICS["distance_summary"](
+            ctx, {"fields": ["temporal_radius", "temporally_connected"]}
+        )
+        assert set(out) == {"temporal_radius", "temporally_connected"}
+
+    def test_mean_label_requires_distribution_extra(self):
+        ctx = self._context(network=self._clique_network())
+        with pytest.raises(ConfigurationError, match="distribution"):
+            METRICS["mean_label"](ctx, {})
+
+    def test_theorem7_audit_validates_rng_quota(self):
+        rngs = list(np.random.default_rng(0).spawn(3))
+        with pytest.raises(ConfigurationError, match="4 RNG streams"):
+            DIRECT_METRICS["theorem7_por_audit"](
+                {"family": "star", "n": 8, "trials": 2}, rngs, {}
+            )
