@@ -36,7 +36,7 @@ from .exceptions import (
     SerializationError,
     UnreachableVertexError,
 )
-from .types import UNREACHABLE, Journey, TimeEdge
+from .types import NEVER, UNREACHABLE, Journey, TimeEdge
 from .graphs import (
     StaticGraph,
     complete_bipartite_graph,
@@ -64,6 +64,9 @@ from .core import (
     foremost_journey,
     shortest_journey,
     is_temporally_connected,
+    latest_departure,
+    latest_departure_matrix,
+    latest_departure_times,
     minimal_labels_for_reachability,
     normalized_urtn,
     opt_labels_star,
@@ -72,10 +75,15 @@ from .core import (
     price_of_randomness,
     push_phone_call_broadcast,
     reachability_probability,
+    reverse_reachable_set,
+    temporal_closeness,
     temporal_diameter,
     temporal_distance,
     temporal_distance_matrix,
     temporal_distance_summary,
+    temporal_harmonic_closeness,
+    temporal_influence_counts,
+    temporal_reach_counts,
     tree_broadcast_assignment,
     uniform_random_labels,
 )
@@ -119,6 +127,7 @@ __all__ = [
     "CheckpointError",
     # value types
     "UNREACHABLE",
+    "NEVER",
     "TimeEdge",
     "Journey",
     # static graphs
@@ -151,6 +160,15 @@ __all__ = [
     "temporal_diameter",
     "is_temporally_connected",
     "preserves_reachability",
+    # reverse (target-side) sweeps and temporal centrality
+    "latest_departure_times",
+    "latest_departure_matrix",
+    "latest_departure",
+    "reverse_reachable_set",
+    "temporal_closeness",
+    "temporal_harmonic_closeness",
+    "temporal_influence_counts",
+    "temporal_reach_counts",
     "ExpansionParameters",
     "ExpansionResult",
     "expansion_process",

@@ -32,6 +32,18 @@ Shared artifacts and what they feed
 ``distances_from(sources)`` / ``distance(source, target)``
     Row queries, answered from the cached matrix when it exists and from
     memoized single-batch sweeps otherwise.
+``departure_matrix()``
+    The ``(n, n)`` latest-departure matrix — one batched *reverse* sweep
+    over the target-major CSR layout; independent of the forward cache.
+``departures_to(targets)`` / ``distances_to(targets)`` /
+``reverse_reachable_set(target)``
+    Target-side queries, answered from the cached departure matrix when it
+    exists and from memoized single-target reverse sweeps otherwise — a
+    single-target question never pays for an all-pairs forward pass.
+``closeness()`` / ``harmonic_closeness()`` / ``influence_counts()`` /
+``reach_counts()``
+    The temporal-centrality family, all derived together in one pass over
+    the arrival structure.
 ``expansion(source, target)`` / ``por_audit()``
     Algorithm 1 traces and Theorem 7/8 audits, memoized per argument set.
 
@@ -61,8 +73,9 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..types import UNREACHABLE, as_vertex_array
+from ..types import NEVER, UNREACHABLE, as_vertex_array
 from ..core.journeys import earliest_arrival_matrix, earliest_arrival_times
+from ..core.reverse_journeys import latest_departure_matrix, latest_departure_times
 from ..core.temporal_graph import TemporalGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -83,6 +96,9 @@ ARTIFACTS = (
     "summary",
     "static_reachability",
     "source_rows",
+    "departure_matrix",
+    "target_columns",
+    "centrality",
     "expansion",
     "por_audit",
 )
@@ -187,6 +203,9 @@ class NetworkAnalysis:
         "_summary",
         "_preserves",
         "_source_rows",
+        "_rev_matrix",
+        "_target_cols",
+        "_centrality",
         "_expansions",
         "_por_audits",
     )
@@ -210,6 +229,9 @@ class NetworkAnalysis:
         self._summary: DistanceSummary | None = None
         self._preserves: bool | None = None
         self._source_rows: dict[int, np.ndarray] = {}
+        self._rev_matrix: np.ndarray | None = None
+        self._target_cols: dict[int, np.ndarray] = {}
+        self._centrality: dict[str, np.ndarray] | None = None
         self._expansions: dict[tuple, "ExpansionResult"] = {}
         self._por_audits: dict[tuple, PorAudit] = {}
 
@@ -387,6 +409,155 @@ class NetworkAnalysis:
         return int(row[target])
 
     # ------------------------------------------------------------------ #
+    # target-side queries (reverse sweeps)
+    # ------------------------------------------------------------------ #
+    def departure_matrix(self) -> np.ndarray:
+        """The full ``(n, n)`` latest-departure matrix (read-only, cached).
+
+        Entry ``[t, v]`` is the latest label a journey ``v → t`` can start
+        with and still arrive by the lifetime (``lifetime + 1`` on the
+        diagonal, :data:`~repro.types.NEVER` when no journey exists).
+        Computed by one batched *reverse* sweep over the target-major CSR
+        layout on first access; entirely independent of the forward caches.
+        """
+        if self._rev_matrix is None:
+            self._rev_matrix = latest_departure_matrix(self._network)
+            self._computed("departure_matrix")
+        return _read_only(self._rev_matrix)
+
+    def departures_to(self, targets: Sequence[int] | None = None) -> np.ndarray:
+        """Latest departures towards the requested targets (read-only).
+
+        ``targets=None`` returns the full cached departure matrix.  With an
+        explicit target list the rows are sliced out of the cached matrix when
+        it exists; otherwise one batched reverse sweep over just those targets
+        is run (and its rows memoized), so a narrow target-side query never
+        pays for all ``n`` targets — and never triggers a forward sweep.
+        """
+        if targets is None:
+            return self.departure_matrix()
+        n = self.n
+        target_arr = as_vertex_array(targets, n)
+        if self._rev_matrix is not None:
+            return _read_only(self._rev_matrix[target_arr])
+        wanted = dict.fromkeys(int(t) for t in target_arr)
+        missing = [t for t in wanted if t not in self._target_cols]
+        if missing:
+            rows = latest_departure_matrix(self._network, missing)
+            for index, target in enumerate(missing):
+                self._target_cols[target] = rows[index]
+            self._computed("target_columns")
+        if target_arr.size == 0:
+            return np.empty((0, n), dtype=np.int64)
+        stacked = np.stack(
+            [self._target_cols[int(t)] for t in target_arr], axis=0
+        )
+        return _read_only(stacked)
+
+    def latest_departure(self, source: int, target: int) -> int:
+        """Latest departure of a journey ``source → target``
+        (:data:`~repro.types.NEVER` when no journey exists).
+
+        Served from the cached departure matrix when available; otherwise one
+        memoized single-target reverse sweep.
+        """
+        n = self.n
+        source = int(as_vertex_array([source], n)[0])
+        target = int(as_vertex_array([target], n)[0])
+        if self._rev_matrix is not None:
+            return int(self._rev_matrix[target, source])
+        row = self._target_cols.get(target)
+        if row is None:
+            row = latest_departure_times(self._network, target)
+            self._target_cols[target] = row
+            self._computed("target_columns")
+        return int(row[source])
+
+    def distances_to(self, targets: Sequence[int] | None = None) -> np.ndarray:
+        """Reverse temporal distances to the requested targets (read-only).
+
+        Row ``i``, entry ``v`` is ``lifetime + 1 − departure(v, targets[i])``
+        — how close to the deadline a journey from ``v`` can leave and still
+        make it; 0 on the target itself, :data:`~repro.types.UNREACHABLE`
+        when no journey exists.  Derived from :meth:`departures_to` without
+        any extra sweep, so a single-target call costs exactly one reverse
+        sweep and no forward pass.
+        """
+        departures = self.departures_to(targets)
+        horizon = np.int64(self._network.lifetime + 1)
+        return _read_only(
+            np.where(departures == NEVER, UNREACHABLE, horizon - departures)
+        )
+
+    def reverse_reachable_set(self, target: int) -> np.ndarray:
+        """Vertices with a journey *to* ``target`` (including the target).
+
+        One memoized reverse sweep — the "who can influence ``target``" query
+        never pays for an all-pairs forward pass.
+        """
+        departures = self.departures_to([int(target)])[0]
+        return np.flatnonzero(departures > NEVER)
+
+    # ------------------------------------------------------------------ #
+    # temporal centrality (one shared pass over the arrival structure)
+    # ------------------------------------------------------------------ #
+    def _centrality_arrays(self) -> dict[str, np.ndarray]:
+        if self._centrality is None:
+            n = self.n
+            if n <= 1:
+                self._centrality = {
+                    "closeness": np.zeros(n, dtype=np.float64),
+                    "harmonic": np.zeros(n, dtype=np.float64),
+                    "influence": np.zeros(n, dtype=np.int64),
+                    "reach": np.zeros(n, dtype=np.int64),
+                }
+            else:
+                matrix = self.arrival_matrix()
+                off_diagonal = self.reachability().copy()
+                np.fill_diagonal(off_diagonal, False)
+                counts_out = off_diagonal.sum(axis=1)
+                distance_sums = np.where(off_diagonal, matrix, 0).sum(axis=1)
+                closeness = np.where(
+                    distance_sums > 0,
+                    counts_out / np.maximum(distance_sums, 1),
+                    0.0,
+                )
+                inverse = np.zeros((n, n), dtype=np.float64)
+                inverse[off_diagonal] = 1.0 / matrix[off_diagonal]
+                self._centrality = {
+                    "closeness": closeness.astype(np.float64),
+                    "harmonic": inverse.sum(axis=1) / float(n - 1),
+                    "influence": counts_out.astype(np.int64),
+                    "reach": off_diagonal.sum(axis=0).astype(np.int64),
+                }
+            self._computed("centrality")
+        return self._centrality
+
+    def closeness(self) -> np.ndarray:
+        """Temporal closeness of every vertex (read-only ``float64``).
+
+        The reciprocal of the mean temporal distance from each vertex to the
+        vertices it can reach; 0.0 for vertices that reach nothing.
+        """
+        return _read_only(self._centrality_arrays()["closeness"])
+
+    def harmonic_closeness(self) -> np.ndarray:
+        """Temporal harmonic closeness of every vertex (read-only, in [0, 1]).
+
+        ``H(u) = (1/(n−1)) Σ_{t ≠ u} 1/δ(u, t)`` with ``1/∞ = 0`` for
+        unreachable targets.
+        """
+        return _read_only(self._centrality_arrays()["harmonic"])
+
+    def influence_counts(self) -> np.ndarray:
+        """Number of vertices ``t ≠ u`` temporally reachable from each ``u``."""
+        return _read_only(self._centrality_arrays()["influence"])
+
+    def reach_counts(self) -> np.ndarray:
+        """Number of vertices ``s ≠ v`` with a journey to each ``v``."""
+        return _read_only(self._centrality_arrays()["reach"])
+
+    # ------------------------------------------------------------------ #
     # reachability preservation (Definition 6)
     # ------------------------------------------------------------------ #
     def preserves_reachability(self) -> bool:
@@ -545,6 +716,8 @@ class NetworkAnalysis:
                 ("reachability", self._reach),
                 ("summary", self._summary),
                 ("static_reachability", self._preserves),
+                ("departure_matrix", self._rev_matrix),
+                ("centrality", self._centrality),
             )
             if value is not None
         ]

@@ -31,6 +31,7 @@ of an instance.  Hold a handle when reading more than one quantity
 
 from .temporal_graph import TemporalGraph
 from .timearc_csr import TimeArcCSR, build_timearc_csr
+from .reverse_timearc_csr import ReverseTimeArcCSR, build_reverse_timearc_csr
 from .labeling import (
     assign_deterministic_labels,
     box_assignment,
@@ -45,6 +46,19 @@ from .journeys import (
     foremost_journey,
     foremost_journey_tree,
     temporal_distance,
+)
+from .reverse_journeys import (
+    latest_departure,
+    latest_departure_matrix,
+    latest_departure_times,
+    latest_departure_times_reference,
+    reverse_reachable_set,
+)
+from .centrality import (
+    temporal_closeness,
+    temporal_harmonic_closeness,
+    temporal_influence_counts,
+    temporal_reach_counts,
 )
 from .journey_variants import FastestJourneyResult, fastest_journey, shortest_journey
 from .distances import (
@@ -91,6 +105,8 @@ __all__ = [
     "TemporalGraph",
     "TimeArcCSR",
     "build_timearc_csr",
+    "ReverseTimeArcCSR",
+    "build_reverse_timearc_csr",
     "uniform_random_labels",
     "normalized_urtn",
     "box_assignment",
@@ -102,6 +118,15 @@ __all__ = [
     "foremost_journey",
     "foremost_journey_tree",
     "temporal_distance",
+    "latest_departure_times",
+    "latest_departure_times_reference",
+    "latest_departure_matrix",
+    "latest_departure",
+    "reverse_reachable_set",
+    "temporal_closeness",
+    "temporal_harmonic_closeness",
+    "temporal_influence_counts",
+    "temporal_reach_counts",
     "shortest_journey",
     "fastest_journey",
     "FastestJourneyResult",

@@ -1,0 +1,70 @@
+"""Temporal centrality: per-vertex closeness, harmonic closeness and reach.
+
+The paper's journey framework supports a whole family of per-vertex
+importance measures beyond the global diameter/radius statistics; this module
+opens that family on top of the existing arrival machinery:
+
+* **temporal closeness** — ``C(u) = |R(u)| / Σ_{t ∈ R(u)} δ(u, t)`` where
+  ``R(u)`` is the set of vertices ``t ≠ u`` reachable from ``u``: the
+  reciprocal of the mean temporal distance to the targets ``u`` can actually
+  reach (0 when it reaches none).  Unlike classic closeness this stays
+  meaningful on partially connected instances — exactly the regime the
+  paper's Theorem 6 lower bounds put random sparse labelings in.
+* **temporal harmonic closeness** — ``H(u) = (1/(n−1)) Σ_{t ≠ u} 1/δ(u, t)``
+  with unreachable targets contributing 0; bounded in ``[0, 1]`` and robust
+  to disconnection by construction.
+* **influence counts** — ``|R(u)|``: how many vertices ``u``'s messages can
+  ever reach (the size of its out-journey cone).
+* **reach counts** — the in-mirror: how many vertices can reach ``u``.  For
+  a *single* vertex this is exactly one reverse sweep
+  (:func:`repro.core.reverse_journeys.reverse_reachable_set`); the batched
+  per-vertex vector here comes from the shared all-pairs structure.
+
+Every function is a thin delegate over
+:class:`repro.analysis_api.NetworkAnalysis`, which computes the whole family
+from one cached all-pairs sweep ("centrality" artifact); hold a handle when
+reading more than one of them (or any other quantity) on the same instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis_api.handle import NetworkAnalysis
+from .temporal_graph import TemporalGraph
+
+__all__ = [
+    "temporal_closeness",
+    "temporal_harmonic_closeness",
+    "temporal_influence_counts",
+    "temporal_reach_counts",
+]
+
+
+def temporal_closeness(network: TemporalGraph) -> np.ndarray:
+    """Temporal closeness of every vertex (read-only ``float64`` array).
+
+    ``C(u)`` is the reciprocal of the mean temporal distance from ``u`` to
+    the vertices it can reach (0.0 when it reaches none); higher is more
+    central.
+    """
+    return NetworkAnalysis(network).closeness()
+
+
+def temporal_harmonic_closeness(network: TemporalGraph) -> np.ndarray:
+    """Temporal harmonic closeness of every vertex (read-only, in ``[0, 1]``).
+
+    ``H(u) = (1/(n−1)) Σ_{t ≠ u} 1/δ(u, t)`` with ``1/∞ = 0`` for
+    unreachable targets.
+    """
+    return NetworkAnalysis(network).harmonic_closeness()
+
+
+def temporal_influence_counts(network: TemporalGraph) -> np.ndarray:
+    """Number of vertices ``t ≠ u`` temporally reachable *from* each ``u``."""
+    return NetworkAnalysis(network).influence_counts()
+
+
+def temporal_reach_counts(network: TemporalGraph) -> np.ndarray:
+    """Number of vertices ``s ≠ v`` with a journey *to* each ``v``."""
+    return NetworkAnalysis(network).reach_counts()

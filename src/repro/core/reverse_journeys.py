@@ -1,0 +1,278 @@
+"""Latest-departure journeys: the reverse (target-major) sweep kernels.
+
+The forward kernels (:mod:`repro.core.journeys`) answer "departing ``s`` at
+``start_time``, when does each vertex first hear the message?".  This module
+answers the mirrored single-*target* questions in one sweep each:
+
+* **latest departure** — for a target ``t`` and a deadline ``D`` (defaulting
+  to the lifetime), the latest label at which a journey may leave each vertex
+  and still reach ``t`` using labels ``<= D``;
+* **reverse reachability** — which vertices can reach ``t`` at all, i.e. the
+  support of the latest-departure vector.
+
+Semantics mirror the forward sweep exactly under *time reversal*.  Writing
+``M(x) = D + 1 − x``, a journey ``v → t`` with labels ``l_1 < … < l_k <= D``
+corresponds to a journey ``t → v`` in the arc-flipped network with labels
+``M(l_k) < … < M(l_1)``; its arrival there is ``M(l_1)``, so
+
+``latest_departure(G, t)[v] == M(earliest_arrival(reverse(G), t)[v])``
+
+entry for entry (:meth:`TemporalGraph.time_reversed` builds ``reverse(G)``,
+and ``tests/test_reverse_sweep.py`` pins the identity bit-for-bit).  The
+conventions follow from the mirror: the target itself reports ``D + 1``
+(mirror of the source's ``start_time`` arrival) and vertices that cannot
+reach the target report :data:`~repro.types.NEVER` ``= 0`` (mirror of
+:data:`~repro.types.UNREACHABLE`).
+
+All kernels process the label groups of the cached target-major CSR layout
+(:attr:`TemporalGraph.reverse_timearc_csr`) in *descending* order: an arc
+labelled ``l`` can start a suffix towards the target exactly when its head
+already departs strictly after ``l``, so a single ordered pass computes exact
+latest departures; a sweep stops early once every departure is at least the
+current label (later groups carry only smaller labels and max-updates with a
+smaller value change nothing).  :func:`latest_departure_matrix` batches many
+targets through one sweep the same way :func:`earliest_arrival_matrix`
+batches sources.  A scalar pure-Python reference is kept for
+cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..types import NEVER, as_vertex_array
+from ..utils.validation import check_non_negative_int
+from .temporal_graph import TemporalGraph
+
+__all__ = [
+    "latest_departure_times",
+    "latest_departure_times_reference",
+    "latest_departure_matrix",
+    "latest_departure",
+    "reverse_reachable_set",
+]
+
+
+def _validate_vertex(graph_n: int, vertex: int, role: str) -> int:
+    vertex = int(vertex)
+    if not 0 <= vertex < graph_n:
+        raise ValueError(
+            f"{role} {vertex} is not a vertex of a graph with {graph_n} vertices"
+        )
+    return vertex
+
+
+def _resolve_deadline(network: TemporalGraph, deadline: int | None) -> int:
+    if deadline is None:
+        return network.lifetime
+    return check_non_negative_int(deadline, "deadline")
+
+
+def latest_departure_times(
+    network: TemporalGraph, target: int, *, deadline: int | None = None
+) -> np.ndarray:
+    """Latest departure time at every vertex for journeys reaching ``target``.
+
+    Parameters
+    ----------
+    network:
+        The temporal network.
+    target:
+        Target vertex.
+    deadline:
+        Journeys must arrive by this time; only arcs with labels at most
+        ``deadline`` may be used.  Defaults to the network's lifetime (no
+        restriction), the mirror of the forward kernels' ``start_time = 0``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of length ``n``; entry ``v`` is the largest label a
+        journey ``v → target`` can start with (its departure time), or
+        :data:`~repro.types.NEVER` when no journey exists.  The target itself
+        reports ``deadline + 1``.
+    """
+    target = _validate_vertex(network.n, target, "target")
+    deadline = _resolve_deadline(network, deadline)
+    depart = np.full(network.n, NEVER, dtype=np.int64)
+    depart[target] = deadline + 1
+    if network.num_time_arcs == 0:
+        return depart
+
+    csr = network.reverse_timearc_csr
+    labels = csr.labels
+    offsets = csr.arc_offsets
+    tails = csr.tails
+    heads = csr.heads
+    last_group = int(np.searchsorted(labels, deadline, side="right"))
+    for group in range(last_group - 1, -1, -1):
+        label = int(labels[group])
+        lo, hi = int(offsets[group]), int(offsets[group + 1])
+        usable = depart[heads[lo:hi]] > label
+        if not usable.any():
+            continue
+        np.maximum.at(depart, tails[lo:hi][usable], label)
+        if int(depart.min()) >= label:
+            break
+    return depart
+
+
+def latest_departure_matrix(
+    network: TemporalGraph,
+    targets: Sequence[int] | None = None,
+    *,
+    deadline: int | None = None,
+) -> np.ndarray:
+    """Batched latest departures: one label-group sweep for many targets.
+
+    The target-major mirror of
+    :func:`repro.core.journeys.earliest_arrival_matrix`: the whole ``(T, n)``
+    departure state advances one label group at a time, in descending label
+    order, with the per-tail "some usable arc" masks OR-reduced on packed
+    bits (``np.bitwise_or.reduceat`` over indices precomputed in the reverse
+    CSR layout) — a handful of vectorised operations per label value
+    regardless of how many targets are in flight.
+
+    Parameters
+    ----------
+    network:
+        The temporal network.
+    targets:
+        Targets to compute rows for; defaults to all vertices (the all-pairs
+        case).
+    deadline:
+        Arrive-by time shared by every target; defaults to the lifetime.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(len(targets), n)`` ``int64`` matrix; entry ``[i, v]`` is the
+        latest departure from ``v`` towards ``targets[i]``
+        (``deadline + 1`` on the target column,
+        :data:`~repro.types.NEVER` when no journey exists).
+
+    See Also
+    --------
+    latest_departure_times : the single-target specialisation.
+    """
+    n = network.n
+    deadline = _resolve_deadline(network, deadline)
+    if targets is None:
+        target_arr = np.arange(n, dtype=np.int64)
+    else:
+        target_arr = as_vertex_array(targets, n)
+    num_targets = target_arr.size
+    # Vertex-major state: row v holds the departures from v for every target,
+    # so the per-group gathers, segment reductions and scatters below all
+    # touch contiguous rows (the arcs of a group are sorted by tail).
+    depart = np.full((n, num_targets), NEVER, dtype=np.int64)
+    depart[target_arr, np.arange(num_targets)] = deadline + 1
+    if network.num_time_arcs == 0 or num_targets == 0:
+        return np.ascontiguousarray(depart.T)
+
+    csr = network.reverse_timearc_csr
+    labels = csr.labels
+    offsets = csr.arc_offsets
+    heads = csr.heads
+    tail_values = csr.tail_values
+    tail_offsets = csr.tail_offsets
+    tail_starts = csr.tail_starts
+    # Departures only ever take values strictly smaller than a head's current
+    # departure, so groups labelled > deadline can never be used; skip them.
+    last_group = int(np.searchsorted(labels, deadline, side="right"))
+    for group in range(last_group - 1, -1, -1):
+        label = int(labels[group])
+        lo, hi = int(offsets[group]), int(offsets[group + 1])
+        # Which targets each arc of this group can forward towards.
+        reachable = depart[heads[lo:hi]] > label
+        if not reachable.any():
+            continue
+        tlo, thi = int(tail_offsets[group]), int(tail_offsets[group + 1])
+        if thi - tlo == hi - lo:
+            # Every arc in the group has a distinct tail: nothing to reduce.
+            any_reachable = reachable
+        else:
+            # Segment-OR over each tail's run of arcs, on packed bits — the
+            # same reduction trick as the forward engine, an order of
+            # magnitude cheaper than logical_or.reduceat on unpacked bools.
+            packed = np.packbits(reachable, axis=1)
+            segment_or = np.bitwise_or.reduceat(packed, tail_starts[tlo:thi], axis=0)
+            any_reachable = np.unpackbits(
+                segment_or, axis=1, count=num_targets
+            ).view(np.bool_)
+        group_tails = tail_values[tlo:thi]
+        current = depart[group_tails]
+        improved = any_reachable & (current < label)
+        if improved.any():
+            depart[group_tails] = np.where(improved, label, current)
+            # Saturation early-exit: once no entry is below the current
+            # label, no later (smaller) label can improve anything.
+            if int(depart.min()) >= label:
+                break
+    return np.ascontiguousarray(depart.T)
+
+
+def latest_departure_times_reference(
+    network: TemporalGraph, target: int, *, deadline: int | None = None
+) -> np.ndarray:
+    """Scalar (pure-Python) reference implementation of latest departures.
+
+    Used by the test suite to cross-validate both the vectorised
+    single-target kernel and the batched :func:`latest_departure_matrix`
+    engine.  Semantics are identical to :func:`latest_departure_times`.
+    """
+    target = _validate_vertex(network.n, target, "target")
+    deadline = _resolve_deadline(network, deadline)
+    depart = [NEVER] * network.n
+    depart[target] = deadline + 1
+    arcs = sorted(
+        zip(
+            network.time_arc_labels.tolist(),
+            network.time_arc_tails.tolist(),
+            network.time_arc_heads.tolist(),
+        ),
+        reverse=True,
+    )
+    index = 0
+    total = len(arcs)
+    while index < total and arcs[index][0] > deadline:
+        index += 1
+    while index < total:
+        label = arcs[index][0]
+        group_end = index
+        while group_end < total and arcs[group_end][0] == label:
+            group_end += 1
+        updates: list[tuple[int, int]] = []
+        for _, tail, head in arcs[index:group_end]:
+            if depart[head] > label and depart[tail] < label:
+                updates.append((tail, label))
+        for tail, label_value in updates:
+            if depart[tail] < label_value:
+                depart[tail] = label_value
+        index = group_end
+    return np.asarray(depart, dtype=np.int64)
+
+
+def latest_departure(
+    network: TemporalGraph, source: int, target: int, *, deadline: int | None = None
+) -> int:
+    """Latest departure time of a journey ``source → target``.
+
+    Returns :data:`~repro.types.NEVER` when no journey exists (rather than
+    raising), mirroring :func:`repro.core.journeys.temporal_distance`.
+    """
+    depart = latest_departure_times(network, target, deadline=deadline)
+    return int(depart[_validate_vertex(network.n, source, "source")])
+
+
+def reverse_reachable_set(network: TemporalGraph, target: int) -> np.ndarray:
+    """Vertices with a journey *to* ``target`` (including the target itself).
+
+    The reverse mirror of :func:`repro.core.reachability.reachable_set`, and
+    the per-vertex "who can influence ``target``" query; costs one reverse
+    sweep instead of an all-pairs forward pass.
+    """
+    depart = latest_departure_times(network, target)
+    return np.flatnonzero(depart > NEVER)

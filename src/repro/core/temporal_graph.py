@@ -80,6 +80,7 @@ class TemporalGraph:
         "_ta_labels",
         "_ta_edge_index",
         "_timearc_csr",
+        "_reverse_timearc_csr",
     )
 
     def __init__(
@@ -106,6 +107,7 @@ class TemporalGraph:
 
         self._build_time_arcs()
         self._timearc_csr = None
+        self._reverse_timearc_csr = None
 
     @classmethod
     def from_label_matrix(
@@ -198,6 +200,7 @@ class TemporalGraph:
             self._ta_labels = np.repeat(el_labels, 2)
             self._ta_edge_index = np.repeat(el_edges, 2)
         self._timearc_csr = None
+        self._reverse_timearc_csr = None
         return self
 
     def _edge_label_tuples(self) -> list[tuple[int, ...]]:
@@ -370,6 +373,25 @@ class TemporalGraph:
             self._timearc_csr = build_timearc_csr(self)
         return self._timearc_csr
 
+    @property
+    def reverse_timearc_csr(self):
+        """The target-major (reverse) CSR layout of the time arcs, built lazily.
+
+        Returns
+        -------
+        repro.core.reverse_timearc_csr.ReverseTimeArcCSR
+            Immutable CSR structure shared by the reverse (latest-departure)
+            kernels — arcs sorted by ``(label, tail)`` with per-tail run
+            indices, the mirror of :attr:`timearc_csr`.  The two layouts are
+            independent caches: a forward-only workload never pays for this
+            sort, and vice versa.
+        """
+        if self._reverse_timearc_csr is None:
+            from .reverse_timearc_csr import build_reverse_timearc_csr
+
+            self._reverse_timearc_csr = build_reverse_timearc_csr(self)
+        return self._reverse_timearc_csr
+
     # ------------------------------------------------------------------ #
     # label queries
     # ------------------------------------------------------------------ #
@@ -428,6 +450,39 @@ class TemporalGraph:
             for labels in self._edge_label_tuples()
         ]
         return TemporalGraph(self._graph, new_labels, lifetime=self._lifetime)
+
+    def time_reversed(self) -> "TemporalGraph":
+        """Return the time-reversed network: arcs flipped, labels mirrored.
+
+        Every arc ``(u, v)`` becomes ``(v, u)`` (a no-op for undirected
+        graphs, which already allow both directions) and every label ``l``
+        becomes ``a + 1 − l`` where ``a`` is the lifetime.  A journey
+        ``u → v`` with labels ``l_1 < … < l_k`` maps to a journey ``v → u``
+        with labels ``a + 1 − l_k < … < a + 1 − l_1``, so earliest arrivals
+        in the reversal are latest departures in the original (and vice
+        versa) — the duality pinned by ``tests/test_reverse_sweep.py``.
+        Applying :meth:`time_reversed` twice returns an equal network.
+        """
+        a = self._lifetime
+        mapped = [
+            tuple(a + 1 - label for label in reversed(labels))
+            for labels in self._edge_label_tuples()
+        ]
+        if not self.directed:
+            return TemporalGraph(self._graph, mapped, lifetime=a)
+        reversed_graph = self._graph.reverse()
+        # Map each original edge (u, v) to the canonical index its flipped
+        # twin (v, u) received in the reversed graph (whose edge list is
+        # sorted by (tail, head), so an encoded-key searchsorted lands it).
+        pairs = self._graph.edge_pairs
+        reversed_pairs = reversed_graph.edge_pairs
+        keys = reversed_pairs[:, 0] * np.int64(self.n) + reversed_pairs[:, 1]
+        flipped = pairs[:, 1] * np.int64(self.n) + pairs[:, 0]
+        position = np.searchsorted(keys, flipped)
+        reversed_labels: list[tuple[int, ...]] = [()] * self.m
+        for index, pos in enumerate(position.tolist()):
+            reversed_labels[pos] = mapped[index]
+        return TemporalGraph(reversed_graph, reversed_labels, lifetime=a)
 
     def with_lifetime(self, lifetime: int) -> "TemporalGraph":
         """Return a copy with a different declared lifetime (labels unchanged)."""

@@ -489,6 +489,50 @@ def _er_fcase_reachability() -> Scenario:
     )
 
 
+def _clique_temporal_centrality() -> Scenario:
+    """Registry-only workload: temporal centrality of the normalized clique.
+
+    The paper's flagship model × the new centrality metric family — the whole
+    suite is served from the one batched sweep each trial already pays for, so
+    the workload exists entirely as registry data; no experiment module.
+    """
+    sizes = {"quick": [16, 32], "default": [16, 32, 64], "full": [32, 64, 128]}
+    reps = {"quick": 4, "default": 10, "full": 20}
+    return Scenario(
+        name="clique-temporal-centrality",
+        title="Temporal centrality of the normalized U-RT clique",
+        description=(
+            "Closeness, harmonic closeness and influence/reach fractions of "
+            "the directed clique under one uniform label per arc from "
+            "{1, …, n}"
+        ),
+        graph=GraphFamilySpec("clique", {"n": "n", "directed": True}),
+        labels=_normalized_clique_labels(),
+        metrics=MetricSuite.of(
+            MetricSpec(
+                "temporal_centrality",
+                {
+                    "fields": [
+                        "mean_closeness",
+                        "max_closeness",
+                        "mean_harmonic_closeness",
+                        "mean_influence",
+                        "mean_reach",
+                    ]
+                },
+            )
+        ),
+        scales={
+            key: ScenarioScale(
+                repetitions=reps[key],
+                blocks=(SweepBlock(axes={"n": sizes[key]}),),
+            )
+            for key in sizes
+        },
+        default_seed=2032,
+    )
+
+
 for _factory in (
     _e1,
     _e2,
@@ -501,5 +545,6 @@ for _factory in (
     _e9,
     _hypercube_urtn_diameter,
     _er_fcase_reachability,
+    _clique_temporal_centrality,
 ):
     register_scenario(_factory())

@@ -154,6 +154,51 @@ def _metric_distance_summary(
     return out
 
 
+#: Fields the ``temporal_centrality`` metric can emit, as name → extractor.
+#: Each extractor receives the trial's shared analysis handle; influence and
+#: reach counts are normalised to fractions of the ``n − 1`` possible partners
+#: so the statistics are comparable across scales.
+_CENTRALITY_FIELDS = {
+    "mean_closeness": lambda a: float(a.closeness().mean()),
+    "max_closeness": lambda a: float(a.closeness().max()),
+    "mean_harmonic_closeness": lambda a: float(a.harmonic_closeness().mean()),
+    "max_harmonic_closeness": lambda a: float(a.harmonic_closeness().max()),
+    "mean_influence": lambda a: float(
+        a.influence_counts().mean() / max(a.n - 1, 1)
+    ),
+    "min_influence": lambda a: float(
+        a.influence_counts().min() / max(a.n - 1, 1)
+    ),
+    "mean_reach": lambda a: float(a.reach_counts().mean() / max(a.n - 1, 1)),
+    "min_reach": lambda a: float(a.reach_counts().min() / max(a.n - 1, 1)),
+}
+
+
+def _metric_temporal_centrality(
+    ctx: TrialContext, options: Mapping[str, Any]
+) -> dict[str, float]:
+    """Per-vertex temporal-centrality statistics from one shared pass.
+
+    ``options["fields"]`` selects which statistics to emit (default: the mean
+    closeness, harmonic closeness and influence fraction); the whole family is
+    derived together from the trial's shared analysis handle, so adding more
+    fields never costs another sweep.
+    """
+    analysis = ctx.require_analysis("temporal_centrality")
+    fields = options.get(
+        "fields", ["mean_closeness", "mean_harmonic_closeness", "mean_influence"]
+    )
+    out: dict[str, float] = {}
+    for name in fields:
+        if name not in _CENTRALITY_FIELDS:
+            raise ConfigurationError(
+                f"temporal_centrality has no field {name!r}; "
+                f"available: {sorted(_CENTRALITY_FIELDS)}"
+            )
+        out[name] = _CENTRALITY_FIELDS[name](analysis)
+    return out
+
+
 def _metric_temporal_diameter(
     ctx: TrialContext, options: Mapping[str, Any]
 ) -> dict[str, float]:
@@ -328,6 +373,7 @@ def _metric_er_connectivity(
 
 METRICS: dict[str, MetricFunction] = {
     "distance_summary": _metric_distance_summary,
+    "temporal_centrality": _metric_temporal_centrality,
     "temporal_diameter": _metric_temporal_diameter,
     "ratio_to_log_n": _metric_ratio_to_log_n,
     "direct_wait_baseline": _metric_direct_wait_baseline,

@@ -22,6 +22,7 @@ from .exceptions import JourneyError
 
 __all__ = [
     "UNREACHABLE",
+    "NEVER",
     "Label",
     "TimeEdge",
     "Journey",
@@ -33,6 +34,13 @@ __all__ = [
 #: value is chosen so it can live inside integer NumPy arrays (``np.iinfo``
 #: max would overflow on additions performed by some reductions).
 UNREACHABLE: int = np.iinfo(np.int64).max // 4
+
+#: Sentinel *departure* time used by the reverse (latest-departure) kernels
+#: for vertices that cannot reach the target at all.  Real departures are
+#: labels ``>= 1`` (the target itself reports ``deadline + 1``), so 0 plays
+#: the same role below the departure scale that :data:`UNREACHABLE` plays
+#: above the arrival scale.
+NEVER: int = 0
 
 #: A discrete time label, an element of ``{1, …, a}``.
 Label = int

@@ -1,0 +1,141 @@
+"""Brute-force journey-enumeration oracles for small temporal networks.
+
+The production kernels (`repro.core.journeys`, `repro.core.reverse_journeys`,
+the centrality family) all derive from the same label-grouped sweep machinery,
+so an implementation bug could in principle hide on *both* sides of a
+forward/reverse comparison.  These oracles share nothing with the kernels:
+they enumerate journeys directly from the definition — simple paths (distinct
+vertices) whose arc labels strictly increase — by depth-first search over the
+raw time-arc list, and recompute every pinned quantity from those
+enumerations.  They are exponential in ``n`` and meant for ``n <= 8``.
+
+Conventions match the production kernels exactly:
+
+* earliest arrival: ``start_time`` on the source itself, arcs usable only at
+  labels ``> current arrival``, ``UNREACHABLE`` when no journey exists;
+* latest departure: ``deadline + 1`` on the target itself, arcs usable only
+  at labels ``<= deadline`` and strictly increasing along the journey,
+  ``NEVER`` when no journey exists.
+
+Restricting the enumeration to *simple* paths loses nothing: labels strictly
+increase along a journey, so the first/last visit of a repeated vertex
+dominates any non-simple journey for both objectives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import NEVER, UNREACHABLE
+from repro.core.temporal_graph import TemporalGraph
+
+
+def _out_arcs(network: TemporalGraph) -> dict[int, list[tuple[int, int]]]:
+    """Adjacency ``tail -> [(label, head), ...]`` from the raw time arcs."""
+    arcs: dict[int, list[tuple[int, int]]] = {}
+    for tail, head, label in zip(
+        network.time_arc_tails.tolist(),
+        network.time_arc_heads.tolist(),
+        network.time_arc_labels.tolist(),
+    ):
+        arcs.setdefault(tail, []).append((label, head))
+    return arcs
+
+
+def oracle_earliest_arrival_times(
+    network: TemporalGraph, source: int, *, start_time: int = 0
+) -> np.ndarray:
+    """Earliest arrivals from ``source`` by exhaustive journey enumeration."""
+    arrival = np.full(network.n, UNREACHABLE, dtype=np.int64)
+    arrival[source] = start_time
+    adjacency = _out_arcs(network)
+
+    def extend(vertex: int, time: int, visited: frozenset[int]) -> None:
+        for label, head in adjacency.get(vertex, ()):
+            if label <= time or head in visited:
+                continue
+            if label < arrival[head]:
+                arrival[head] = label
+            extend(head, label, visited | {head})
+
+    extend(source, start_time, frozenset([source]))
+    return arrival
+
+
+def oracle_latest_departure_times(
+    network: TemporalGraph, target: int, *, deadline: int | None = None
+) -> np.ndarray:
+    """Latest departures towards ``target`` by exhaustive journey enumeration.
+
+    Walks journeys *backwards* from the target: a journey suffix currently
+    departing at ``time`` can be extended by any in-arc labelled strictly
+    below ``time``.
+    """
+    if deadline is None:
+        deadline = network.lifetime
+    depart = np.full(network.n, NEVER, dtype=np.int64)
+    depart[target] = deadline + 1
+    in_arcs: dict[int, list[tuple[int, int]]] = {}
+    for tail, head, label in zip(
+        network.time_arc_tails.tolist(),
+        network.time_arc_heads.tolist(),
+        network.time_arc_labels.tolist(),
+    ):
+        if label <= deadline:
+            in_arcs.setdefault(head, []).append((label, tail))
+
+    def extend(vertex: int, time: int, visited: frozenset[int]) -> None:
+        for label, tail in in_arcs.get(vertex, ()):
+            if label >= time or tail in visited:
+                continue
+            if label > depart[tail]:
+                depart[tail] = label
+            extend(tail, label, visited | {tail})
+
+    extend(target, deadline + 1, frozenset([target]))
+    return depart
+
+
+def oracle_arrival_matrix(network: TemporalGraph) -> np.ndarray:
+    """All-pairs earliest arrivals, one enumeration per source."""
+    return np.stack(
+        [oracle_earliest_arrival_times(network, s) for s in range(network.n)]
+    )
+
+
+def oracle_departure_matrix(network: TemporalGraph) -> np.ndarray:
+    """All-pairs latest departures, one enumeration per target."""
+    return np.stack(
+        [oracle_latest_departure_times(network, t) for t in range(network.n)]
+    )
+
+
+def oracle_centrality(network: TemporalGraph) -> dict[str, np.ndarray]:
+    """The temporal-centrality family recomputed from the oracle arrivals."""
+    n = network.n
+    matrix = oracle_arrival_matrix(network)
+    closeness = np.zeros(n, dtype=np.float64)
+    harmonic = np.zeros(n, dtype=np.float64)
+    influence = np.zeros(n, dtype=np.int64)
+    reach = np.zeros(n, dtype=np.int64)
+    for u in range(n):
+        distances = [
+            int(matrix[u, t])
+            for t in range(n)
+            if t != u and matrix[u, t] < UNREACHABLE
+        ]
+        influence[u] = len(distances)
+        if distances:
+            closeness[u] = len(distances) / sum(distances)
+        if n > 1:
+            harmonic[u] = sum(1.0 / d for d in distances) / (n - 1)
+    for v in range(n):
+        reach[v] = sum(
+            1 for s in range(n) if s != v and matrix[s, v] < UNREACHABLE
+        )
+    return {
+        "closeness": closeness,
+        "harmonic": harmonic,
+        "influence": influence,
+        "reach": reach,
+    }

@@ -344,3 +344,120 @@ class TestTrialContextSharing:
             assert metrics["optimal_arrival"] <= metrics["arrival_time"]
         # the trace is memoized on the shared handle
         assert ctx.analysis is not None and ctx.analysis._expansions
+
+
+class TestReverseArtifacts:
+    """The target-side (reverse-sweep) artifacts obey the same compute-once
+    contract as the forward ones — and never trigger a forward sweep."""
+
+    def test_departure_matrix_computed_at_most_once(
+        self, clique_network, counting_hook
+    ):
+        analysis = NetworkAnalysis(clique_network)
+        for _ in range(3):
+            analysis.departure_matrix()
+            analysis.departures_to()
+            analysis.distances_to()
+        assert counting_hook == {"departure_matrix": 1}
+
+    def test_invalidate_clears_reverse_artifacts(
+        self, clique_network, counting_hook
+    ):
+        analysis = NetworkAnalysis(clique_network)
+        before = analysis.departure_matrix().copy()
+        analysis.invalidate()
+        np.testing.assert_array_equal(analysis.departure_matrix(), before)
+        assert counting_hook["departure_matrix"] == 2
+
+    def test_single_target_query_never_runs_forward_sweep(
+        self, clique_network, counting_hook
+    ):
+        analysis = NetworkAnalysis(clique_network)
+        analysis.distances_to([3])
+        analysis.reverse_reachable_set(3)
+        analysis.latest_departure(0, 3)
+        assert counting_hook == {"target_columns": 1}
+
+    def test_departures_to_served_from_cached_matrix(
+        self, clique_network, counting_hook
+    ):
+        analysis = NetworkAnalysis(clique_network)
+        matrix = analysis.departure_matrix()
+        rows = analysis.departures_to([5, 2])
+        np.testing.assert_array_equal(rows, matrix[[5, 2]])
+        assert counting_hook == {"departure_matrix": 1}
+
+    def test_target_columns_match_full_matrix(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        narrow = analysis.distances_to([4])
+        full = NetworkAnalysis(clique_network).departure_matrix()
+        horizon = clique_network.lifetime + 1
+        from repro import NEVER
+
+        expected = np.where(full[4] == NEVER, UNREACHABLE, horizon - full[4])
+        np.testing.assert_array_equal(narrow[0], expected)
+
+    def test_distances_to_diagonal_and_sentinels(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        distances = analysis.distances_to()
+        assert (np.diag(distances) == 0).all()
+        finite = distances[distances < UNREACHABLE]
+        assert (finite <= clique_network.lifetime).all()
+
+    def test_centrality_artifact_computed_once_for_whole_family(
+        self, clique_network, counting_hook
+    ):
+        analysis = NetworkAnalysis(clique_network)
+        for _ in range(2):
+            analysis.closeness()
+            analysis.harmonic_closeness()
+            analysis.influence_counts()
+            analysis.reach_counts()
+        assert counting_hook == {
+            "arrival_matrix": 1,
+            "reachability": 1,
+            "centrality": 1,
+        }
+
+    def test_centrality_free_functions_delegate(self, clique_network):
+        from repro import (
+            temporal_closeness,
+            temporal_harmonic_closeness,
+            temporal_influence_counts,
+            temporal_reach_counts,
+        )
+
+        analysis = NetworkAnalysis(clique_network)
+        np.testing.assert_allclose(
+            temporal_closeness(clique_network), analysis.closeness()
+        )
+        np.testing.assert_allclose(
+            temporal_harmonic_closeness(clique_network),
+            analysis.harmonic_closeness(),
+        )
+        np.testing.assert_array_equal(
+            temporal_influence_counts(clique_network), analysis.influence_counts()
+        )
+        np.testing.assert_array_equal(
+            temporal_reach_counts(clique_network), analysis.reach_counts()
+        )
+
+    def test_reverse_reachability_transposes_forward(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        forward = analysis.reachability()
+        for target in [0, 7, 13]:
+            np.testing.assert_array_equal(
+                analysis.reverse_reachable_set(target),
+                np.flatnonzero(forward[:, target]),
+            )
+
+    def test_returned_arrays_are_read_only(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        for array in (
+            analysis.departure_matrix(),
+            analysis.distances_to([1]),
+            analysis.closeness(),
+            analysis.influence_counts(),
+        ):
+            with pytest.raises(ValueError):
+                array[0] = 0

@@ -1,0 +1,134 @@
+"""Cross-check the sweep kernels against brute-force journey enumeration.
+
+The oracles in ``tests/oracles.py`` share no code with the production
+kernels: they enumerate journeys straight from the definition by DFS over the
+raw time-arc list.  On every ``n <= 8`` instance in the pool, the forward
+kernel, the reverse kernels (single-target, batched and pure-Python
+reference) and the centrality family must all agree with them exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    NetworkAnalysis,
+    complete_graph,
+    earliest_arrival_matrix,
+    earliest_arrival_times,
+    erdos_renyi_graph,
+    normalized_urtn,
+    path_graph,
+    star_graph,
+    uniform_random_labels,
+)
+from repro.core.reverse_journeys import (
+    latest_departure_matrix,
+    latest_departure_times,
+    latest_departure_times_reference,
+)
+
+from oracles import (
+    oracle_arrival_matrix,
+    oracle_centrality,
+    oracle_departure_matrix,
+    oracle_earliest_arrival_times,
+    oracle_latest_departure_times,
+)
+
+
+def _instance_pool():
+    """Small, structurally diverse instances: id → network."""
+    pool = {}
+    for seed in range(5):
+        pool[f"clique-directed-{seed}"] = normalized_urtn(
+            complete_graph(6, directed=True), seed=seed
+        )
+        pool[f"clique-undirected-{seed}"] = normalized_urtn(
+            complete_graph(5), seed=seed
+        )
+        pool[f"er-r2-{seed}"] = uniform_random_labels(
+            erdos_renyi_graph(8, 0.4, directed=True, seed=seed),
+            lifetime=12,
+            labels_per_edge=2,
+            seed=seed + 100,
+        )
+        pool[f"star-{seed}"] = normalized_urtn(star_graph(7), seed=seed)
+        pool[f"path-r2-{seed}"] = uniform_random_labels(
+            path_graph(6), lifetime=9, labels_per_edge=2, seed=seed + 200
+        )
+    return pool
+
+
+_POOL = _instance_pool()
+
+
+@pytest.fixture(params=sorted(_POOL), ids=sorted(_POOL))
+def network(request):
+    return _POOL[request.param]
+
+
+class TestForwardKernelAgainstOracle:
+    def test_single_source(self, network):
+        for source in range(network.n):
+            np.testing.assert_array_equal(
+                earliest_arrival_times(network, source),
+                oracle_earliest_arrival_times(network, source),
+            )
+
+    def test_matrix(self, network):
+        np.testing.assert_array_equal(
+            earliest_arrival_matrix(network), oracle_arrival_matrix(network)
+        )
+
+    def test_nonzero_start_time(self, network):
+        start = max(1, network.lifetime // 3)
+        for source in range(network.n):
+            np.testing.assert_array_equal(
+                earliest_arrival_times(network, source, start_time=start),
+                oracle_earliest_arrival_times(network, source, start_time=start),
+            )
+
+
+class TestReverseKernelAgainstOracle:
+    def test_single_target(self, network):
+        for target in range(network.n):
+            np.testing.assert_array_equal(
+                latest_departure_times(network, target),
+                oracle_latest_departure_times(network, target),
+            )
+
+    def test_matrix(self, network):
+        np.testing.assert_array_equal(
+            latest_departure_matrix(network), oracle_departure_matrix(network)
+        )
+
+    def test_reference_implementation(self, network):
+        for target in range(network.n):
+            np.testing.assert_array_equal(
+                latest_departure_times_reference(network, target),
+                oracle_latest_departure_times(network, target),
+            )
+
+    def test_restricted_deadline(self, network):
+        deadline = max(1, network.lifetime // 2)
+        for target in range(network.n):
+            np.testing.assert_array_equal(
+                latest_departure_times(network, target, deadline=deadline),
+                oracle_latest_departure_times(network, target, deadline=deadline),
+            )
+
+
+class TestCentralityAgainstOracle:
+    def test_whole_family(self, network):
+        analysis = NetworkAnalysis(network)
+        expected = oracle_centrality(network)
+        np.testing.assert_allclose(analysis.closeness(), expected["closeness"])
+        np.testing.assert_allclose(
+            analysis.harmonic_closeness(), expected["harmonic"]
+        )
+        np.testing.assert_array_equal(
+            analysis.influence_counts(), expected["influence"]
+        )
+        np.testing.assert_array_equal(analysis.reach_counts(), expected["reach"])

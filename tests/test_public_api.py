@@ -116,3 +116,26 @@ def test_star_por_helpers_consistent():
     por = repro.price_of_randomness(star, 8, opt=repro.opt_labels_star(n))
     assert por == pytest.approx(4.0)
     assert repro.por_upper_bound_theorem8(n, star.m, 2) > por
+
+
+def test_never_sentinel_pinned():
+    """NEVER sits below every real departure the way UNREACHABLE sits above
+    every real arrival; both are part of the serialized-data contract."""
+    assert repro.NEVER == 0
+    assert repro.NEVER < 1 <= repro.UNREACHABLE
+
+
+def test_reverse_sweep_surface_resolves():
+    network = repro.normalized_urtn(repro.complete_graph(8, directed=True), seed=0)
+    departures = repro.latest_departure_matrix(network)
+    assert departures.shape == (8, 8)
+    assert repro.latest_departure_times(network, 2)[2] == network.lifetime + 1
+    assert repro.latest_departure(network, 0, 2) == departures[2, 0]
+    assert set(repro.reverse_reachable_set(network, 2).tolist()) <= set(range(8))
+    for fn in (
+        repro.temporal_closeness,
+        repro.temporal_harmonic_closeness,
+        repro.temporal_influence_counts,
+        repro.temporal_reach_counts,
+    ):
+        assert fn(network).shape == (8,)

@@ -228,6 +228,46 @@ class TestRunScenario:
         parallel = run_scenario(scenario, scale="quick", seed=11, jobs=2)
         assert serial.to_records() == parallel.to_records()
 
+    def test_centrality_scenario_runs_from_registry_definition(self):
+        result = run_scenario(
+            get_scenario("clique-temporal-centrality"), scale="quick", seed=9
+        )
+        records = result.to_records()
+        assert len(records) == 2
+        for record in records:
+            # one uniform label per arc of the directed clique: every vertex
+            # reaches (and is reached by) everyone, so the fractions saturate
+            # and the closeness statistics stay inside (0, 1].
+            assert record["mean_influence_mean"] == 1.0
+            assert record["mean_reach_mean"] == 1.0
+            assert 0.0 < record["mean_closeness_mean"] <= 1.0
+            assert (
+                record["mean_closeness_mean"]
+                <= record["mean_harmonic_closeness_mean"]
+                <= 1.0
+            )
+            assert record["max_closeness_mean"] >= record["mean_closeness_mean"]
+
+    def test_centrality_scenario_jobs_bit_identical(self):
+        scenario = get_scenario("clique-temporal-centrality")
+        serial = run_scenario(scenario, scale="quick", seed=13)
+        parallel = run_scenario(scenario, scale="quick", seed=13, jobs=2)
+        assert serial.to_records() == parallel.to_records()
+
+    def test_centrality_metric_rejects_unknown_field(self):
+        from repro.scenarios.metrics import METRICS, TrialContext
+        from repro import complete_graph, normalized_urtn
+
+        network = normalized_urtn(complete_graph(8, directed=True), seed=0)
+        ctx = TrialContext(
+            graph=network.graph,
+            network=network,
+            params={},
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ConfigurationError, match="betweenness"):
+            METRICS["temporal_centrality"](ctx, {"fields": ["betweenness"]})
+
     def test_unknown_scale_rejected(self):
         with pytest.raises(ConfigurationError):
             run_scenario(get_scenario("E1"), scale="galactic")
@@ -324,6 +364,25 @@ class TestScenarioCli:
         assert "hypercube-urtn-diameter" in out
         records = read_records_json(records_path)
         assert len(records) == 2
+
+    def test_scenario_run_centrality_from_cli(self, tmp_path, capsys):
+        from repro.experiments.registry import main
+        from repro.io.serialization import read_records_json
+
+        records_path = tmp_path / "centrality.json"
+        code = main(
+            [
+                "scenario", "run", "clique-temporal-centrality",
+                "--scale", "quick", "--seed", "5",
+                "--records", str(records_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clique-temporal-centrality" in out
+        records = read_records_json(records_path)
+        assert len(records) == 2
+        assert all("mean_closeness_mean" in record for record in records)
 
     def test_scenario_sweep_overrides_axes(self, capsys):
         from repro.experiments.registry import main
