@@ -112,7 +112,7 @@ def test_bench_suite_per_metric_recompute(benchmark):
     assert len(results) == INSTANCES
 
 
-def test_analysis_cache_speedup_at_least_2x():
+def test_analysis_cache_speedup_at_least_2x(perf_record):
     """Acceptance gate: the shared handle must beat per-metric recomputation."""
     cpus = _usable_cpus()
     if cpus < 2:
@@ -136,6 +136,15 @@ def test_analysis_cache_speedup_at_least_2x():
         "the shared handle must produce identical metric values"
     )
     speedup = recompute_seconds / shared_seconds
+    perf_record(
+        name="analysis_cache_speedup",
+        n=N,
+        instances=INSTANCES,
+        shared_seconds=shared_seconds,
+        recompute_seconds=recompute_seconds,
+        speedup=speedup,
+        required=2.0,
+    )
     assert speedup >= 2.0, (
         f"shared handle only {speedup:.2f}x faster than per-metric "
         f"recomputation ({shared_seconds * 1e3:.0f} ms vs "

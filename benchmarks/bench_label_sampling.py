@@ -71,7 +71,7 @@ def test_bench_label_sampling_fast_path(benchmark):
     assert network.total_labels == graph.m
 
 
-def test_label_sampling_speedup_at_least_3x():
+def test_label_sampling_speedup_at_least_3x(perf_record):
     """Acceptance gate: direct-to-CSR must beat the dict build ≥ 3× on E1."""
     graph = complete_graph(N, directed=True)
     matrix = _draws(graph, LABELS_PER_EDGE)
@@ -92,6 +92,16 @@ def test_label_sampling_speedup_at_least_3x():
     fast_seconds = time.perf_counter() - start
 
     speedup = dict_seconds / fast_seconds
+    perf_record(
+        name="label_sampling_speedup",
+        n=N,
+        labels_per_edge=LABELS_PER_EDGE,
+        rounds=ROUNDS,
+        dict_seconds=dict_seconds,
+        fast_seconds=fast_seconds,
+        speedup=speedup,
+        required=REQUIRED_SPEEDUP,
+    )
     assert speedup >= REQUIRED_SPEEDUP, (
         f"direct-to-CSR path only {speedup:.2f}x faster than the dict build "
         f"on the E1 clique workload (n={N}, r={LABELS_PER_EDGE}); "

@@ -74,7 +74,7 @@ def test_bench_run_trials_streaming(benchmark):
     assert result.accumulators is not None
 
 
-def test_parallel_speedup_at_least_1_5x_at_jobs_4():
+def test_parallel_speedup_at_least_1_5x_at_jobs_4(perf_record):
     """Acceptance gate: multiprocess must beat serial on the E1 workload."""
     cpus = _usable_cpus()
     if cpus < 2:
@@ -98,6 +98,14 @@ def test_parallel_speedup_at_least_1_5x_at_jobs_4():
         "jobs=4 must be bit-identical to serial for the same seed"
     )
     speedup = serial_seconds / parallel_seconds
+    perf_record(
+        name="parallel_runner_speedup",
+        cpus=cpus,
+        serial_seconds=serial_seconds,
+        parallel_seconds=parallel_seconds,
+        speedup=speedup,
+        required=required,
+    )
     assert speedup >= required, (
         f"jobs=4 only {speedup:.2f}x faster than serial on {cpus} cores "
         f"({parallel_seconds * 1e3:.0f} ms vs {serial_seconds * 1e3:.0f} ms, "

@@ -99,7 +99,7 @@ def test_bench_all_pairs_forward_fallback(benchmark):
     assert len(results) == INSTANCES
 
 
-def test_reverse_query_speedup_at_least_5x():
+def test_reverse_query_speedup_at_least_5x(perf_record):
     """Acceptance gate: one reverse sweep must beat the all-pairs fallback."""
     cpus = _usable_cpus()
     if cpus < 2:
@@ -124,6 +124,13 @@ def test_reverse_query_speedup_at_least_5x():
             err_msg="reverse and forward paths disagree on reachability",
         )
     speedup = forward_seconds / reverse_seconds
+    perf_record(
+        name="reverse_sweep_speedup",
+        reverse_seconds=reverse_seconds,
+        forward_seconds=forward_seconds,
+        speedup=speedup,
+        required=5.0,
+    )
     assert speedup >= 5.0, (
         f"single-target reverse query only {speedup:.2f}x faster than the "
         f"all-pairs forward fallback ({reverse_seconds * 1e3:.0f} ms vs "

@@ -1,0 +1,112 @@
+"""Telemetry overhead bench — the disabled path must cost (almost) nothing.
+
+Two layers:
+
+* pytest-benchmark timings of the n = 256 all-pairs arrival sweep with
+  telemetry off and with a live recorder attached, plus a micro-benchmark of
+  the bare ``telemetry.active()`` dispatch the kernels run per call;
+* ``test_telemetry_disabled_overhead_under_2_percent`` — the acceptance
+  gate behind the "< 2 % regression" criterion: the instrumented kernels
+  emit nothing per loop iteration, only one record per sweep, so a sweep
+  with a recorder attached must stay within 2 % (plus a small absolute
+  slack for timer noise) of the telemetry-off sweep.  Enabled bounding
+  disabled this tightly is what pins the disabled path at the seed's cost:
+  the off-path does strictly less work than the on-path.  Interleaved
+  best-of-k sampling keeps the comparison robust on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import complete_graph, normalized_urtn, telemetry
+from repro.core.journeys import earliest_arrival_matrix
+
+N = 256
+SEED = 2014
+ATTEMPTS = 5
+#: Relative gate plus absolute slack: 2 % of a ~tens-of-ms sweep is well
+#: above the one extra record_sweep call, but a 1 ms floor absorbs timer
+#: jitter on runs fast enough that 2 % is sub-millisecond.
+RELATIVE_BOUND = 1.02
+ABSOLUTE_SLACK_SECONDS = 1e-3
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def clique_256():
+    network = normalized_urtn(complete_graph(N, directed=True), seed=SEED)
+    network.timearc_csr  # warm the CSR cache so every sample times sweeps only
+    return network
+
+
+def test_bench_sweep_telemetry_disabled(benchmark, clique_256):
+    assert not telemetry.active()
+    matrix = benchmark(lambda: earliest_arrival_matrix(clique_256))
+    assert matrix.shape == (N, N)
+
+
+def test_bench_sweep_telemetry_enabled(benchmark, clique_256):
+    with telemetry.session() as recorder:
+        matrix = benchmark(lambda: earliest_arrival_matrix(clique_256))
+    assert matrix.shape == (N, N)
+    assert recorder.counters["kernel.forward.sweeps"] >= 1
+
+
+def test_bench_active_dispatch(benchmark):
+    """The whole per-call cost of disabled telemetry: one active() check."""
+    assert not telemetry.active()
+    benchmark(telemetry.active)
+
+
+def test_telemetry_disabled_overhead_under_2_percent(clique_256, perf_record):
+    """Acceptance gate: a live recorder adds < 2 % to the n = 256 sweep."""
+    cpus = _usable_cpus()
+    if cpus < 2:
+        pytest.skip(f"only {cpus} usable core(s); timing noise swamps the gate")
+    network = clique_256
+
+    def sample() -> float:
+        start = time.perf_counter()
+        earliest_arrival_matrix(network)
+        return time.perf_counter() - start
+
+    # Warm both paths once before sampling.
+    sample()
+    with telemetry.session():
+        sample()
+
+    # Interleave the two conditions so drift (thermal, scheduler) hits both
+    # equally, then take best-of-k per condition.
+    disabled_best = float("inf")
+    enabled_best = float("inf")
+    for _ in range(ATTEMPTS):
+        assert not telemetry.active()
+        disabled_best = min(disabled_best, sample())
+        with telemetry.session():
+            enabled_best = min(enabled_best, sample())
+
+    overhead = enabled_best / disabled_best - 1.0
+    perf_record(
+        name="telemetry_overhead",
+        n=N,
+        attempts=ATTEMPTS,
+        disabled_seconds=disabled_best,
+        enabled_seconds=enabled_best,
+        overhead_fraction=overhead,
+        relative_bound=RELATIVE_BOUND,
+        absolute_slack_seconds=ABSOLUTE_SLACK_SECONDS,
+    )
+    assert enabled_best <= disabled_best * RELATIVE_BOUND + ABSOLUTE_SLACK_SECONDS, (
+        f"telemetry-on sweep {enabled_best * 1e3:.2f} ms vs telemetry-off "
+        f"{disabled_best * 1e3:.2f} ms ({overhead * 100:+.2f} %); the "
+        f"per-sweep record must stay under 2 % at n = {N}"
+    )

@@ -74,7 +74,7 @@ class TestBatchedVsLooped:
         )
         assert matrix.shape == (256, 256)
 
-    def test_batched_speedup_at_least_3x(self, clique_256):
+    def test_batched_speedup_at_least_3x(self, clique_256, perf_record):
         """Acceptance criterion: ≥ 3× over the looped path at n = 256."""
         network = clique_256
         network.timearc_csr  # build the cache outside both timed regions
@@ -99,6 +99,14 @@ class TestBatchedVsLooped:
 
         assert np.array_equal(batched, looped)
         speedup = looped_seconds / batched_seconds
+        perf_record(
+            name="batched_sweep_speedup",
+            n=256,
+            batched_seconds=batched_seconds,
+            looped_seconds=looped_seconds,
+            speedup=speedup,
+            required=3.0,
+        )
         assert speedup >= 3.0, (
             f"batched engine only {speedup:.1f}x faster than the looped path "
             f"({batched_seconds * 1e3:.1f} ms vs {looped_seconds * 1e3:.1f} ms)"

@@ -5,7 +5,8 @@ Demonstrates the memoized per-instance analysis API on the paper's normalized
 random clique:
 
 * read diameter/radius/mean distance/reachability from one shared sweep,
-  with a compute hook proving the arrival matrix was built exactly once;
+  with a scoped `compute_events()` probe proving the arrival matrix was built
+  exactly once;
 * derive the Theorem 5 labels-≤-k restriction *without* a second sweep and
   plot the prefix diameter profile;
 * run a memoized Expansion Process trace and a Price-of-Randomness audit on
@@ -18,23 +19,21 @@ from __future__ import annotations
 
 import os
 
-from repro import UNREACHABLE, NetworkAnalysis, complete_graph, normalized_urtn, set_compute_hook
+from repro import UNREACHABLE, NetworkAnalysis, complete_graph, compute_events, normalized_urtn
 from repro.io.tables import format_table
 
 
 def main(n: int = 96, seed: int = 2014) -> None:
     network = normalized_urtn(complete_graph(n, directed=True), seed=seed)
 
-    events: list[str] = []
-    previous = set_compute_hook(lambda artifact, analysis: events.append(artifact))
-    try:
+    with compute_events() as events:
         analysis = NetworkAnalysis(network)
         print(f"n = {n}: diameter {analysis.diameter}, radius {analysis.radius}, "
               f"mean distance {analysis.average_distance:.2f}, "
               f"reachable fraction {analysis.reachable_fraction:.2f}, "
               f"T_reach {analysis.preserves_reachability()}")
-        sweeps = events.count("arrival_matrix")
-        print(f"artifacts computed: {events}  (arrival sweeps: {sweeps})")
+        sweeps = events.counts.get("arrival_matrix", 0)
+        print(f"artifacts computed: {sorted(events.counts)}  (arrival sweeps: {sweeps})")
         assert sweeps == 1, "every quantity above shared one batched sweep"
 
         # Theorem 5 view: restrict to labels <= k.  Children derive their
@@ -54,7 +53,7 @@ def main(n: int = 96, seed: int = 2014) -> None:
             )
         print()
         print(format_table(rows, title="Prefix profile (derived, zero extra sweeps)"))
-        assert events.count("arrival_matrix") == 1
+        assert events.counts["arrival_matrix"] == 1
 
         # Algorithm 1 and the PoR audit ride on the same handle, memoized.
         trace = analysis.expansion(0, n // 2)
@@ -65,8 +64,6 @@ def main(n: int = 96, seed: int = 2014) -> None:
               f"forward layers {trace.forward_layer_sizes}")
         print(f"PoR audit: r={audit.r}, OPT≤{audit.opt}, measured PoR "
               f"{audit.measured_por:.2f} (Theorem 8 bound {audit.theorem8_bound:.1f})")
-    finally:
-        set_compute_hook(previous)
 
 
 if __name__ == "__main__":

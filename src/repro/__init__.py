@@ -87,7 +87,15 @@ from .core import (
     tree_broadcast_assignment,
     uniform_random_labels,
 )
-from .analysis_api import DistanceSummary, NetworkAnalysis, PorAudit, set_compute_hook
+from . import telemetry
+from .analysis_api import (
+    ComputeEvents,
+    DistanceSummary,
+    NetworkAnalysis,
+    PorAudit,
+    compute_events,
+    set_compute_hook,
+)
 from .montecarlo import (
     Experiment,
     MonteCarloRunner,
@@ -181,10 +189,14 @@ __all__ = [
     "opt_labels_star",
     "por_upper_bound_theorem8",
     # the per-instance analysis handle
+    "ComputeEvents",
     "DistanceSummary",
     "NetworkAnalysis",
     "PorAudit",
+    "compute_events",
     "set_compute_hook",
+    # telemetry (spans, counters, sinks, the layered profile report)
+    "telemetry",
     # monte carlo
     "Experiment",
     "MonteCarloRunner",

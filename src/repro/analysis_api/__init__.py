@@ -14,13 +14,26 @@ thin one-line delegates that construct a throwaway handle, so existing code
 keeps working bit-for-bit; new code — and anything reading more than one
 quantity per instance — should hold a handle.  ``docs/api.md`` documents the
 full surface and the migration mapping.
+
+Cache behaviour is observable: :func:`compute_events` opens a scoped probe
+over artifact computations and cache hits (built on :mod:`repro.telemetry`),
+replacing the deprecated process-global :func:`set_compute_hook`.
 """
 
-from .handle import DistanceSummary, NetworkAnalysis, PorAudit, set_compute_hook
+from .handle import (
+    ComputeEvents,
+    DistanceSummary,
+    NetworkAnalysis,
+    PorAudit,
+    compute_events,
+    set_compute_hook,
+)
 
 __all__ = [
+    "ComputeEvents",
     "DistanceSummary",
     "NetworkAnalysis",
     "PorAudit",
+    "compute_events",
     "set_compute_hook",
 ]

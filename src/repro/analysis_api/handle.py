@@ -58,17 +58,32 @@ pair is unreachable in the restriction otherwise.
 
 Instrumentation
 ---------------
-:func:`set_compute_hook` installs a callback invoked as
-``hook(artifact, analysis)`` every time a shared artifact is *actually
-computed* (cache hits do not fire).  The test suite uses it to assert each
-artifact is computed at most once per trial; it is also a convenient probe for
-profiling cache behaviour in production pipelines.
+Every artifact access reports to :mod:`repro.telemetry` when a recorder is
+active: an actual computation emits the ``analysis.compute.<artifact>``
+counter plus the ``analysis.compute_ms.<artifact>`` timing, and a cache hit
+emits ``analysis.cache_hit.<artifact>``.  :func:`compute_events` opens a
+*scoped* probe over those events —
+
+>>> from repro import NetworkAnalysis, complete_graph, normalized_urtn
+>>> from repro.analysis_api import compute_events
+>>> handle = NetworkAnalysis(normalized_urtn(complete_graph(8, directed=True), seed=0))
+>>> with compute_events() as events:
+...     _ = handle.summary
+...     _ = handle.summary
+>>> events.counts["arrival_matrix"], events.hits["summary"]
+(1, 1)
+
+— and composes with any outer :func:`repro.telemetry.session`.  The legacy
+process-global :func:`set_compute_hook` is kept as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -77,14 +92,18 @@ from ..types import NEVER, UNREACHABLE, as_vertex_array
 from ..core.journeys import earliest_arrival_matrix, earliest_arrival_times
 from ..core.reverse_journeys import latest_departure_matrix, latest_departure_times
 from ..core.temporal_graph import TemporalGraph
+from ..telemetry import TelemetryRecorder, attach as _telemetry_attach
+from ..telemetry import active as _telemetry_active
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.expansion import ExpansionParameters, ExpansionResult
 
 __all__ = [
+    "ComputeEvents",
     "DistanceSummary",
     "NetworkAnalysis",
     "PorAudit",
+    "compute_events",
     "set_compute_hook",
 ]
 
@@ -111,15 +130,90 @@ _compute_hook: ComputeHook | None = None
 def set_compute_hook(hook: ComputeHook | None) -> ComputeHook | None:
     """Install a global artifact-computation callback; returns the previous one.
 
+    .. deprecated::
+        Use the scoped :func:`compute_events` context manager (or a full
+        :func:`repro.telemetry.session`) instead — it composes across nested
+        probes and is transported through the parallel engine's shard workers,
+        which a process-global hook is not.
+
     ``hook(artifact, analysis)`` fires each time a :class:`NetworkAnalysis`
     actually computes a shared artifact (never on a cache hit).  Pass ``None``
     to uninstall.  The hook is process-global, so multiprocess trial workers
     each see their own (installed-at-fork or not at all).
     """
+    warnings.warn(
+        "set_compute_hook is deprecated; use the scoped compute_events() "
+        "context manager (repro.analysis_api.compute_events) or a "
+        "repro.telemetry session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     global _compute_hook
     previous = _compute_hook
     _compute_hook = hook
     return previous
+
+
+class ComputeEvents:
+    """Live view of the artifact cache traffic inside a :func:`compute_events` scope.
+
+    ``counts`` maps artifact name → number of *actual computations*;
+    ``hits`` maps artifact name → number of cache hits.  Both views are
+    dictionaries rebuilt from the underlying recorder on access, so they can
+    be inspected while the scope is still open.
+    """
+
+    __slots__ = ("_recorder",)
+
+    def __init__(self, recorder: TelemetryRecorder) -> None:
+        self._recorder = recorder
+
+    @property
+    def recorder(self) -> TelemetryRecorder:
+        """The underlying scoped :class:`~repro.telemetry.TelemetryRecorder`."""
+        return self._recorder
+
+    def _by_prefix(self, prefix: str) -> dict[str, int]:
+        return {
+            name[len(prefix):]: value
+            for name, value in self._recorder.counters.items()
+            if name.startswith(prefix)
+        }
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Artifact name → times it was actually computed in this scope."""
+        return self._by_prefix("analysis.compute.")
+
+    @property
+    def hits(self) -> dict[str, int]:
+        """Artifact name → times it was served from cache in this scope."""
+        return self._by_prefix("analysis.cache_hit.")
+
+    def __repr__(self) -> str:
+        return f"ComputeEvents(counts={self.counts!r}, hits={self.hits!r})"
+
+
+@contextmanager
+def compute_events() -> Iterator[ComputeEvents]:
+    """Scoped probe over :class:`NetworkAnalysis` artifact computations.
+
+    Attaches a private telemetry recorder for the duration of the ``with``
+    block and yields a :class:`ComputeEvents` view of it.  Unlike the
+    deprecated :func:`set_compute_hook` the probe is scoped (no global state
+    to restore), nests, and composes with an outer
+    :func:`repro.telemetry.session` — both see the same events.
+
+    >>> from repro import NetworkAnalysis, complete_graph, normalized_urtn
+    >>> handle = NetworkAnalysis(normalized_urtn(complete_graph(8, directed=True), seed=0))
+    >>> with compute_events() as events:
+    ...     _ = handle.diameter
+    >>> events.counts["arrival_matrix"]
+    1
+    """
+    recorder = TelemetryRecorder()
+    with _telemetry_attach(recorder):
+        yield ComputeEvents(recorder)
 
 
 @dataclass(frozen=True, slots=True)
@@ -235,9 +329,26 @@ class NetworkAnalysis:
         self._expansions: dict[tuple, "ExpansionResult"] = {}
         self._por_audits: dict[tuple, PorAudit] = {}
 
-    def _computed(self, artifact: str) -> None:
+    def _computed(self, artifact: str, start: float) -> None:
+        """Report one actual artifact computation (telemetry + legacy hook).
+
+        ``start`` is the ``time.perf_counter()`` reading taken just before the
+        computation; its cost is negligible next to any artifact compute, so
+        the timestamp is taken unconditionally and only turned into a timing
+        record when recorders are active.
+        """
+        recs = _telemetry_active()
+        if recs:
+            duration_ms = (time.perf_counter() - start) * 1e3
+            for rec in recs:
+                rec.counter(f"analysis.compute.{artifact}")
+                rec.observe_ms(f"analysis.compute_ms.{artifact}", duration_ms)
         if _compute_hook is not None:
             _compute_hook(artifact, self)
+
+    def _cache_hit(self, artifact: str) -> None:
+        for rec in _telemetry_active():
+            rec.counter(f"analysis.cache_hit.{artifact}")
 
     # ------------------------------------------------------------------ #
     # shared artifacts
@@ -261,8 +372,11 @@ class NetworkAnalysis:
         the handle is a reduction of this array.
         """
         if self._matrix is None:
+            start = time.perf_counter()
             self._matrix = earliest_arrival_matrix(self._network)
-            self._computed("arrival_matrix")
+            self._computed("arrival_matrix", start)
+        else:
+            self._cache_hit("arrival_matrix")
         return _read_only(self._matrix)
 
     def eccentricities(self) -> np.ndarray:
@@ -276,11 +390,14 @@ class NetworkAnalysis:
         matrix copy).
         """
         if self._ecc is None:
+            start = time.perf_counter()
             if self.n <= 1:
                 self._ecc = np.zeros(self.n, dtype=np.int64)
             else:
                 self._ecc = np.asarray(self.arrival_matrix().max(axis=1))
-            self._computed("eccentricities")
+            self._computed("eccentricities", start)
+        else:
+            self._cache_hit("eccentricities")
         return _read_only(self._ecc)
 
     def reachability(self) -> np.ndarray:
@@ -289,36 +406,42 @@ class NetworkAnalysis:
         The diagonal is ``True`` (the empty journey).  Read-only, cached.
         """
         if self._reach is None:
+            start = time.perf_counter()
             self._reach = self.arrival_matrix() < UNREACHABLE
-            self._computed("reachability")
+            self._computed("reachability", start)
+        else:
+            self._cache_hit("reachability")
         return _read_only(self._reach)
 
     @property
     def summary(self) -> DistanceSummary:
         """The bundled all-pairs statistics, from one shared sweep (cached)."""
-        if self._summary is None:
-            n = self.n
-            if n <= 1:
-                self._summary = DistanceSummary(
-                    diameter=0, radius=0, average_distance=0.0, reachable_fraction=1.0
-                )
+        if self._summary is not None:
+            self._cache_hit("summary")
+            return self._summary
+        start = time.perf_counter()
+        n = self.n
+        if n <= 1:
+            self._summary = DistanceSummary(
+                diameter=0, radius=0, average_distance=0.0, reachable_fraction=1.0
+            )
+        else:
+            matrix = self.arrival_matrix()
+            ecc = self.eccentricities()
+            reach_mask = self.reachability().copy()
+            np.fill_diagonal(reach_mask, False)
+            reachable_pairs = int(reach_mask.sum())
+            if reachable_pairs:
+                average = float(matrix[reach_mask].mean())
             else:
-                matrix = self.arrival_matrix()
-                ecc = self.eccentricities()
-                reach_mask = self.reachability().copy()
-                np.fill_diagonal(reach_mask, False)
-                reachable_pairs = int(reach_mask.sum())
-                if reachable_pairs:
-                    average = float(matrix[reach_mask].mean())
-                else:
-                    average = float("nan")
-                self._summary = DistanceSummary(
-                    diameter=int(ecc.max()),
-                    radius=int(ecc.min()),
-                    average_distance=average,
-                    reachable_fraction=reachable_pairs / float(n * (n - 1)),
-                )
-            self._computed("summary")
+                average = float("nan")
+            self._summary = DistanceSummary(
+                diameter=int(ecc.max()),
+                radius=int(ecc.min()),
+                average_distance=average,
+                reachable_fraction=reachable_pairs / float(n * (n - 1)),
+            )
+        self._computed("summary", start)
         return self._summary
 
     # ------------------------------------------------------------------ #
@@ -374,14 +497,18 @@ class NetworkAnalysis:
         n = self.n
         source_arr = as_vertex_array(sources, n)
         if self._matrix is not None:
+            self._cache_hit("source_rows")
             return _read_only(self._matrix[source_arr])
         wanted = dict.fromkeys(int(s) for s in source_arr)
         missing = [s for s in wanted if s not in self._source_rows]
         if missing:
+            start = time.perf_counter()
             rows = earliest_arrival_matrix(self._network, missing)
             for index, source in enumerate(missing):
                 self._source_rows[source] = rows[index]
-            self._computed("source_rows")
+            self._computed("source_rows", start)
+        elif wanted:
+            self._cache_hit("source_rows")
         if source_arr.size == 0:
             return np.empty((0, n), dtype=np.int64)
         stacked = np.stack(
@@ -400,12 +527,16 @@ class NetworkAnalysis:
         target = int(as_vertex_array([target], n)[0])
         source = int(as_vertex_array([source], n)[0])
         if self._matrix is not None:
+            self._cache_hit("source_rows")
             return int(self._matrix[source, target])
         row = self._source_rows.get(source)
         if row is None:
+            start = time.perf_counter()
             row = earliest_arrival_times(self._network, source)
             self._source_rows[source] = row
-            self._computed("source_rows")
+            self._computed("source_rows", start)
+        else:
+            self._cache_hit("source_rows")
         return int(row[target])
 
     # ------------------------------------------------------------------ #
@@ -421,8 +552,11 @@ class NetworkAnalysis:
         layout on first access; entirely independent of the forward caches.
         """
         if self._rev_matrix is None:
+            start = time.perf_counter()
             self._rev_matrix = latest_departure_matrix(self._network)
-            self._computed("departure_matrix")
+            self._computed("departure_matrix", start)
+        else:
+            self._cache_hit("departure_matrix")
         return _read_only(self._rev_matrix)
 
     def departures_to(self, targets: Sequence[int] | None = None) -> np.ndarray:
@@ -439,14 +573,18 @@ class NetworkAnalysis:
         n = self.n
         target_arr = as_vertex_array(targets, n)
         if self._rev_matrix is not None:
+            self._cache_hit("target_columns")
             return _read_only(self._rev_matrix[target_arr])
         wanted = dict.fromkeys(int(t) for t in target_arr)
         missing = [t for t in wanted if t not in self._target_cols]
         if missing:
+            start = time.perf_counter()
             rows = latest_departure_matrix(self._network, missing)
             for index, target in enumerate(missing):
                 self._target_cols[target] = rows[index]
-            self._computed("target_columns")
+            self._computed("target_columns", start)
+        elif wanted:
+            self._cache_hit("target_columns")
         if target_arr.size == 0:
             return np.empty((0, n), dtype=np.int64)
         stacked = np.stack(
@@ -465,12 +603,16 @@ class NetworkAnalysis:
         source = int(as_vertex_array([source], n)[0])
         target = int(as_vertex_array([target], n)[0])
         if self._rev_matrix is not None:
+            self._cache_hit("target_columns")
             return int(self._rev_matrix[target, source])
         row = self._target_cols.get(target)
         if row is None:
+            start = time.perf_counter()
             row = latest_departure_times(self._network, target)
             self._target_cols[target] = row
-            self._computed("target_columns")
+            self._computed("target_columns", start)
+        else:
+            self._cache_hit("target_columns")
         return int(row[source])
 
     def distances_to(self, targets: Sequence[int] | None = None) -> np.ndarray:
@@ -502,35 +644,38 @@ class NetworkAnalysis:
     # temporal centrality (one shared pass over the arrival structure)
     # ------------------------------------------------------------------ #
     def _centrality_arrays(self) -> dict[str, np.ndarray]:
-        if self._centrality is None:
-            n = self.n
-            if n <= 1:
-                self._centrality = {
-                    "closeness": np.zeros(n, dtype=np.float64),
-                    "harmonic": np.zeros(n, dtype=np.float64),
-                    "influence": np.zeros(n, dtype=np.int64),
-                    "reach": np.zeros(n, dtype=np.int64),
-                }
-            else:
-                matrix = self.arrival_matrix()
-                off_diagonal = self.reachability().copy()
-                np.fill_diagonal(off_diagonal, False)
-                counts_out = off_diagonal.sum(axis=1)
-                distance_sums = np.where(off_diagonal, matrix, 0).sum(axis=1)
-                closeness = np.where(
-                    distance_sums > 0,
-                    counts_out / np.maximum(distance_sums, 1),
-                    0.0,
-                )
-                inverse = np.zeros((n, n), dtype=np.float64)
-                inverse[off_diagonal] = 1.0 / matrix[off_diagonal]
-                self._centrality = {
-                    "closeness": closeness.astype(np.float64),
-                    "harmonic": inverse.sum(axis=1) / float(n - 1),
-                    "influence": counts_out.astype(np.int64),
-                    "reach": off_diagonal.sum(axis=0).astype(np.int64),
-                }
-            self._computed("centrality")
+        if self._centrality is not None:
+            self._cache_hit("centrality")
+            return self._centrality
+        start = time.perf_counter()
+        n = self.n
+        if n <= 1:
+            self._centrality = {
+                "closeness": np.zeros(n, dtype=np.float64),
+                "harmonic": np.zeros(n, dtype=np.float64),
+                "influence": np.zeros(n, dtype=np.int64),
+                "reach": np.zeros(n, dtype=np.int64),
+            }
+        else:
+            matrix = self.arrival_matrix()
+            off_diagonal = self.reachability().copy()
+            np.fill_diagonal(off_diagonal, False)
+            counts_out = off_diagonal.sum(axis=1)
+            distance_sums = np.where(off_diagonal, matrix, 0).sum(axis=1)
+            closeness = np.where(
+                distance_sums > 0,
+                counts_out / np.maximum(distance_sums, 1),
+                0.0,
+            )
+            inverse = np.zeros((n, n), dtype=np.float64)
+            inverse[off_diagonal] = 1.0 / matrix[off_diagonal]
+            self._centrality = {
+                "closeness": closeness.astype(np.float64),
+                "harmonic": inverse.sum(axis=1) / float(n - 1),
+                "influence": counts_out.astype(np.int64),
+                "reach": off_diagonal.sum(axis=0).astype(np.int64),
+            }
+        self._computed("centrality", start)
         return self._centrality
 
     def closeness(self) -> np.ndarray:
@@ -571,6 +716,7 @@ class NetworkAnalysis:
         constructor forbids; the comparison checks both directions anyway.)
         """
         if self._preserves is None:
+            start = time.perf_counter()
             n = self.n
             if n <= 1:
                 self._preserves = True
@@ -580,7 +726,9 @@ class NetworkAnalysis:
                         self.reachability(), self._static_reachability_matrix()
                     )
                 )
-            self._computed("static_reachability")
+            self._computed("static_reachability", start)
+        else:
+            self._cache_hit("static_reachability")
         return self._preserves
 
     def _static_reachability_matrix(self) -> np.ndarray:
@@ -625,10 +773,13 @@ class NetworkAnalysis:
 
         key = (int(source), int(target), parameters)
         if key not in self._expansions:
+            start = time.perf_counter()
             self._expansions[key] = expansion_process(
                 self._network, int(source), int(target), parameters
             )
-            self._computed("expansion")
+            self._computed("expansion", start)
+        else:
+            self._cache_hit("expansion")
         return self._expansions[key]
 
     def por_audit(self, r: int | None = None, *, opt: int | None = None) -> PorAudit:
@@ -651,38 +802,42 @@ class NetworkAnalysis:
             If the underlying graph is disconnected (OPT is undefined).
         """
         key = (r, opt)
-        if key not in self._por_audits:
-            from ..core.price_of_randomness import (
-                opt_labels_upper_bound,
-                por_upper_bound_theorem8,
-                price_of_randomness,
-            )
-            from ..graphs.properties import diameter as static_diameter
+        if key in self._por_audits:
+            self._cache_hit("por_audit")
+            return self._por_audits[key]
 
-            network = self._network
-            if r is None:
-                counts = network.label_count_per_edge()
-                resolved_r = int(counts.max()) if counts.size else 0
-            else:
-                resolved_r = int(r)
-            if resolved_r < 1:
-                raise ConfigurationError(
-                    "por_audit needs at least one label per edge (r >= 1); "
-                    "this instance has none and no explicit r was given"
-                )
-            graph = network.graph
-            opt_value = int(opt) if opt is not None else opt_labels_upper_bound(graph)
-            d = static_diameter(graph)
-            self._por_audits[key] = PorAudit(
-                r=resolved_r,
-                total_labels=network.total_labels,
-                opt=opt_value,
-                static_diameter=d,
-                preserves_reachability=self.preserves_reachability(),
-                measured_por=price_of_randomness(graph, resolved_r, opt=opt_value),
-                theorem8_bound=por_upper_bound_theorem8(network.n, network.m, d),
+        from ..core.price_of_randomness import (
+            opt_labels_upper_bound,
+            por_upper_bound_theorem8,
+            price_of_randomness,
+        )
+        from ..graphs.properties import diameter as static_diameter
+
+        start = time.perf_counter()
+        network = self._network
+        if r is None:
+            counts = network.label_count_per_edge()
+            resolved_r = int(counts.max()) if counts.size else 0
+        else:
+            resolved_r = int(r)
+        if resolved_r < 1:
+            raise ConfigurationError(
+                "por_audit needs at least one label per edge (r >= 1); "
+                "this instance has none and no explicit r was given"
             )
-            self._computed("por_audit")
+        graph = network.graph
+        opt_value = int(opt) if opt is not None else opt_labels_upper_bound(graph)
+        d = static_diameter(graph)
+        self._por_audits[key] = PorAudit(
+            r=resolved_r,
+            total_labels=network.total_labels,
+            opt=opt_value,
+            static_diameter=d,
+            preserves_reachability=self.preserves_reachability(),
+            measured_por=price_of_randomness(graph, resolved_r, opt=opt_value),
+            theorem8_bound=por_upper_bound_theorem8(network.n, network.m, d),
+        )
+        self._computed("por_audit", start)
         return self._por_audits[key]
 
     # ------------------------------------------------------------------ #

@@ -36,13 +36,16 @@ kept for cross-validation and the ablation benchmark.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
 from ..exceptions import UnreachableVertexError
+from ..telemetry import active as _telemetry_active
 from ..types import UNREACHABLE, Journey, TimeEdge, as_vertex_array
 from ..utils.validation import check_non_negative_int
+from ._kernel_telemetry import record_sweep as _record_sweep
 from .temporal_graph import TemporalGraph
 
 __all__ = [
@@ -87,9 +90,21 @@ def earliest_arrival_times(
     """
     source = _validate_source(network.n, source)
     start_time = check_non_negative_int(start_time, "start_time")
+    recs = _telemetry_active()
+    sweep_start = time.perf_counter() if recs else 0.0
     arrival = np.full(network.n, UNREACHABLE, dtype=np.int64)
     arrival[source] = start_time
     if network.num_time_arcs == 0:
+        if recs:
+            _record_sweep(
+                recs,
+                "kernel.forward",
+                start=sweep_start,
+                tile_name="sources",
+                tile=1,
+                groups=0,
+                saturated=False,
+            )
         return arrival
 
     csr = network.timearc_csr
@@ -98,6 +113,7 @@ def earliest_arrival_times(
     tails = csr.tails
     heads = csr.heads
     first_group = int(np.searchsorted(labels, start_time, side="right"))
+    saturated = False
     for group in range(first_group, labels.size):
         label = int(labels[group])
         lo, hi = int(offsets[group]), int(offsets[group + 1])
@@ -106,7 +122,19 @@ def earliest_arrival_times(
             continue
         np.minimum.at(arrival, heads[lo:hi][usable], label)
         if int(arrival.max()) <= label:
+            saturated = True
             break
+    if recs:
+        groups_scanned = group - first_group + 1 if labels.size > first_group else 0
+        _record_sweep(
+            recs,
+            "kernel.forward",
+            start=sweep_start,
+            tile_name="sources",
+            tile=1,
+            groups=groups_scanned,
+            saturated=saturated,
+        )
     return arrival
 
 
@@ -159,12 +187,24 @@ def earliest_arrival_matrix(
     else:
         source_arr = as_vertex_array(sources, n)
     num_sources = source_arr.size
+    recs = _telemetry_active()
+    sweep_start = time.perf_counter() if recs else 0.0
     # Vertex-major state: row v holds the arrivals at v for every source, so
     # the per-group gathers, segment reductions and scatters below all touch
     # contiguous rows (the arcs of a group are sorted by head).
     arrival = np.full((n, num_sources), UNREACHABLE, dtype=np.int64)
     arrival[source_arr, np.arange(num_sources)] = start_time
     if network.num_time_arcs == 0 or num_sources == 0:
+        if recs:
+            _record_sweep(
+                recs,
+                "kernel.forward",
+                start=sweep_start,
+                tile_name="sources",
+                tile=num_sources,
+                groups=0,
+                saturated=False,
+            )
         return np.ascontiguousarray(arrival.T)
 
     csr = network.timearc_csr
@@ -178,6 +218,7 @@ def earliest_arrival_matrix(
     # label strictly greater than a tail's arrival, so groups labelled
     # <= start_time can never be used; skip straight past them.
     first_group = int(np.searchsorted(labels, start_time, side="right"))
+    saturated = False
     for group in range(first_group, labels.size):
         label = int(labels[group])
         lo, hi = int(offsets[group]), int(offsets[group + 1])
@@ -206,7 +247,19 @@ def earliest_arrival_matrix(
             # Saturation early-exit: once no entry exceeds the current label,
             # no later (larger) label can improve anything.
             if int(arrival.max()) <= label:
+                saturated = True
                 break
+    if recs:
+        groups_scanned = group - first_group + 1 if labels.size > first_group else 0
+        _record_sweep(
+            recs,
+            "kernel.forward",
+            start=sweep_start,
+            tile_name="sources",
+            tile=num_sources,
+            groups=groups_scanned,
+            saturated=saturated,
+        )
     return np.ascontiguousarray(arrival.T)
 
 

@@ -38,12 +38,15 @@ cross-validation.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
+from ..telemetry import active as _telemetry_active
 from ..types import NEVER, as_vertex_array
 from ..utils.validation import check_non_negative_int
+from ._kernel_telemetry import record_sweep as _record_sweep
 from .temporal_graph import TemporalGraph
 
 __all__ = [
@@ -96,9 +99,21 @@ def latest_departure_times(
     """
     target = _validate_vertex(network.n, target, "target")
     deadline = _resolve_deadline(network, deadline)
+    recs = _telemetry_active()
+    sweep_start = time.perf_counter() if recs else 0.0
     depart = np.full(network.n, NEVER, dtype=np.int64)
     depart[target] = deadline + 1
     if network.num_time_arcs == 0:
+        if recs:
+            _record_sweep(
+                recs,
+                "kernel.reverse",
+                start=sweep_start,
+                tile_name="targets",
+                tile=1,
+                groups=0,
+                saturated=False,
+            )
         return depart
 
     csr = network.reverse_timearc_csr
@@ -107,6 +122,7 @@ def latest_departure_times(
     tails = csr.tails
     heads = csr.heads
     last_group = int(np.searchsorted(labels, deadline, side="right"))
+    saturated = False
     for group in range(last_group - 1, -1, -1):
         label = int(labels[group])
         lo, hi = int(offsets[group]), int(offsets[group + 1])
@@ -115,7 +131,19 @@ def latest_departure_times(
             continue
         np.maximum.at(depart, tails[lo:hi][usable], label)
         if int(depart.min()) >= label:
+            saturated = True
             break
+    if recs:
+        groups_scanned = last_group - group if last_group > 0 else 0
+        _record_sweep(
+            recs,
+            "kernel.reverse",
+            start=sweep_start,
+            tile_name="targets",
+            tile=1,
+            groups=groups_scanned,
+            saturated=saturated,
+        )
     return depart
 
 
@@ -164,12 +192,24 @@ def latest_departure_matrix(
     else:
         target_arr = as_vertex_array(targets, n)
     num_targets = target_arr.size
+    recs = _telemetry_active()
+    sweep_start = time.perf_counter() if recs else 0.0
     # Vertex-major state: row v holds the departures from v for every target,
     # so the per-group gathers, segment reductions and scatters below all
     # touch contiguous rows (the arcs of a group are sorted by tail).
     depart = np.full((n, num_targets), NEVER, dtype=np.int64)
     depart[target_arr, np.arange(num_targets)] = deadline + 1
     if network.num_time_arcs == 0 or num_targets == 0:
+        if recs:
+            _record_sweep(
+                recs,
+                "kernel.reverse",
+                start=sweep_start,
+                tile_name="targets",
+                tile=num_targets,
+                groups=0,
+                saturated=False,
+            )
         return np.ascontiguousarray(depart.T)
 
     csr = network.reverse_timearc_csr
@@ -182,6 +222,7 @@ def latest_departure_matrix(
     # Departures only ever take values strictly smaller than a head's current
     # departure, so groups labelled > deadline can never be used; skip them.
     last_group = int(np.searchsorted(labels, deadline, side="right"))
+    saturated = False
     for group in range(last_group - 1, -1, -1):
         label = int(labels[group])
         lo, hi = int(offsets[group]), int(offsets[group + 1])
@@ -210,7 +251,19 @@ def latest_departure_matrix(
             # Saturation early-exit: once no entry is below the current
             # label, no later (smaller) label can improve anything.
             if int(depart.min()) >= label:
+                saturated = True
                 break
+    if recs:
+        groups_scanned = last_group - group if last_group > 0 else 0
+        _record_sweep(
+            recs,
+            "kernel.reverse",
+            start=sweep_start,
+            tile_name="targets",
+            tile=num_targets,
+            groups=groups_scanned,
+            saturated=saturated,
+        )
     return np.ascontiguousarray(depart.T)
 
 

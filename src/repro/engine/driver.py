@@ -17,9 +17,11 @@ worker counts and crash/resume boundaries.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
+from .. import telemetry
 from ..exceptions import ConfigurationError
 from ..utils.logging import get_logger
 from ..utils.seeding import SeedLike
@@ -135,16 +137,21 @@ def run_sharded(
     shards = plan_shards(budget, shard_size=shard_size)
     seeds = SeedPlan(seed, budget, len(shards))
     chosen = resolve_executor(executor, jobs)
+    recs = telemetry.active()
     task = ShardTask(
         experiment=experiment,
         collect_values=collect_values,
         reservoir_capacity=reservoir_capacity,
+        # Snapshot of "is anyone recording" travels with the task so spawned
+        # workers (which inherit no globals) still record their shards.
+        telemetry=bool(recs),
     )
 
     completed: dict[int, ShardResult] = {}
     store: CheckpointStore | None = None
     if checkpoint_dir is not None:
         store = CheckpointStore(checkpoint_dir)
+        load_start = time.perf_counter()
         completed = store.initialize(
             {
                 "experiment": experiment.name,
@@ -157,6 +164,10 @@ def run_sharded(
                 "seed": seeds.fingerprint(),
             }
         )
+        if recs:
+            load_ms = (time.perf_counter() - load_start) * 1e3
+            for rec in recs:
+                rec.observe_ms("engine.checkpoint_load_ms", load_ms)
 
     resumed = len(completed)
     pending = [
@@ -173,16 +184,28 @@ def run_sharded(
 
     done = resumed
     repetitions_done = sum(result.repetitions for result in completed.values())
-    if progress is not None and resumed:
-        progress(done, len(shards), repetitions_done)
+    if resumed:
+        if progress is not None:
+            progress(done, len(shards), repetitions_done)
+        for rec in recs:
+            rec.counter("engine.shards_resumed", resumed)
 
     with Timer(experiment.name) as timer:
         for result in chosen.map_shards(pending):
             completed[result.index] = result
             if store is not None:
+                save_start = time.perf_counter()
                 store.save(result)
+                if recs:
+                    save_ms = (time.perf_counter() - save_start) * 1e3
+                    for rec in recs:
+                        rec.observe_ms("engine.checkpoint_save_ms", save_ms)
             done += 1
             repetitions_done += result.repetitions
+            # The progress event, mirrored as a counter for recorders; the
+            # callback itself is untouched.
+            for rec in recs:
+                rec.counter("engine.shards_completed")
             if progress is not None:
                 progress(done, len(shards), repetitions_done)
     _LOGGER.debug(
@@ -193,6 +216,8 @@ def run_sharded(
         chosen,
         timer,
     )
+    for rec in recs:
+        rec.observe_ms("engine.run_ms", timer.elapsed * 1e3)
 
     # Merge in ascending shard index — never in completion order.
     merge_rng = seeds.merge_rng()
@@ -202,6 +227,13 @@ def run_sharded(
     for shard in shards:
         result = completed[shard.index]
         accumulators.merge(AccumulatorSet.from_state(result.accumulator_state), merge_rng)
+        if result.telemetry_state is not None:
+            # Worker-side recorders fold into every recorder active *now*, in
+            # the same ascending order as the accumulators (counter and
+            # Welford merges are exact, so the order only matters for
+            # reproducible float summation).
+            for rec in recs:
+                rec.merge_state(result.telemetry_state)
         repetitions += result.repetitions
         if values is not None:
             if result.values is None:

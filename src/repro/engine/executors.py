@@ -25,8 +25,11 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
+import time
+
 import numpy as np
 
+from .. import telemetry
 from ..exceptions import ConfigurationError
 from ..utils.validation import check_positive_int
 from .accumulators import DEFAULT_RESERVOIR_CAPACITY, AccumulatorSet
@@ -59,6 +62,11 @@ class ShardTask:
     experiment: "Experiment"
     collect_values: bool = True
     reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY
+    #: Record per-shard telemetry in the worker and ship it home with the
+    #: result.  An explicit flag (set by the driver from the state of the
+    #: parent's recorders) rather than an inherited global, so it survives
+    #: spawn-start-method workers, which re-import the world from scratch.
+    telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -93,6 +101,10 @@ class ShardResult:
     repetitions: int
     values: Mapping[str, tuple[float, ...]] | None
     accumulator_state: Mapping[str, Any]
+    #: The worker-side telemetry recorder's state (counters + timing moments),
+    #: or ``None`` when the run had telemetry off.  Merged by the driver in
+    #: ascending shard index, like the accumulator state.
+    telemetry_state: Mapping[str, Any] | None = None
 
     def to_payload(self) -> dict[str, Any]:
         """JSON-serialisable representation (the checkpoint on-disk format)."""
@@ -107,11 +119,20 @@ class ShardResult:
                 else None
             ),
             "accumulators": dict(self.accumulator_state),
+            "telemetry": (
+                dict(self.telemetry_state)
+                if self.telemetry_state is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "ShardResult":
-        """Rebuild from a :meth:`to_payload` dictionary."""
+        """Rebuild from a :meth:`to_payload` dictionary.
+
+        Checkpoints written before telemetry existed lack the ``telemetry``
+        key; they load as ``telemetry_state=None``.
+        """
         raw_values = payload["values"]
         return cls(
             index=int(payload["index"]),
@@ -127,6 +148,7 @@ class ShardResult:
                 else None
             ),
             accumulator_state=payload["accumulators"],
+            telemetry_state=payload.get("telemetry"),
         )
 
 
@@ -135,9 +157,26 @@ def execute_shard(work: ShardWork) -> ShardResult:
 
     This is the worker entry point for every executor; it is a module-level
     function so process pools can pickle it.
+
+    When the task has telemetry on, the shard runs under a fresh *isolated*
+    recorder — both in the serial executor and in every multiprocess worker —
+    whose state ships home in :attr:`ShardResult.telemetry_state`.  One code
+    path for both execution modes is what makes a ``jobs=N`` run's merged
+    counters bit-identical to a serial run's.
     """
+    if not work.task.telemetry:
+        return _execute_shard_inner(work, None)
+    recorder = telemetry.TelemetryRecorder()
+    with telemetry.isolated(recorder):
+        return _execute_shard_inner(work, recorder)
+
+
+def _execute_shard_inner(
+    work: ShardWork, recorder: "telemetry.TelemetryRecorder | None"
+) -> ShardResult:
     task = work.task
     experiment = task.experiment
+    shard_start = time.perf_counter() if recorder is not None else 0.0
     reservoir_rng = np.random.default_rng(
         spawned_child(
             work.master_entropy, work.master_spawn_key, work.budget + work.shard.index
@@ -156,6 +195,14 @@ def execute_shard(work: ShardWork) -> ShardResult:
             for name, value in metrics.items():
                 values.setdefault(name, []).append(value)
         repetitions += 1
+    telemetry_state: dict[str, Any] | None = None
+    if recorder is not None:
+        recorder.counter("engine.shards")
+        recorder.counter("engine.trials", repetitions)
+        recorder.observe_ms(
+            "engine.shard_ms", (time.perf_counter() - shard_start) * 1e3
+        )
+        telemetry_state = recorder.to_state()
     return ShardResult(
         index=work.shard.index,
         start=work.shard.start,
@@ -167,6 +214,7 @@ def execute_shard(work: ShardWork) -> ShardResult:
             else None
         ),
         accumulator_state=accumulators.to_state(),
+        telemetry_state=telemetry_state,
     )
 
 

@@ -17,6 +17,16 @@ registry entry — experiment-backed or not —
 through the one generic pipeline; ``scenario sweep`` does the same after
 overriding sweep axes from the command line, which is how a brand-new
 workload point is probed without touching any code.
+
+Observability: every run command accepts ``--telemetry summary`` (compact
+counters/timings on stderr) or ``--telemetry jsonl:PATH`` (machine-readable
+trace records appended to PATH), and ::
+
+    repro-experiments profile <scenario> [--scale quick]
+
+runs a scenario under a telemetry session and prints the per-layer breakdown
+(scenario pipeline / parallel engine / artifact cache / CSR kernels) — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -24,8 +34,10 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import Any, Callable, Sequence
+from contextlib import nullcontext
+from typing import Any, Callable, ContextManager, Sequence
 
+from .. import telemetry
 from ..exceptions import ConfigurationError
 from ..io.tables import format_table
 from ..scenarios import get_scenario, iter_scenarios, run_scenario
@@ -82,6 +94,41 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         )
     return EXPERIMENTS[key]
+
+
+def _telemetry_session(spec: str | None) -> ContextManager[Any]:
+    """Build the telemetry session context a ``--telemetry`` flag asked for.
+
+    ``None`` (flag absent) yields a no-op context; ``"summary"`` prints the
+    stderr counters/timings summary when the command finishes;
+    ``"jsonl:PATH"`` appends the machine-readable trace records to PATH.
+    """
+    if spec is None:
+        return nullcontext(None)
+    if spec == "summary":
+        return telemetry.session(telemetry.StderrSummarySink())
+    if spec.startswith("jsonl:"):
+        path = spec[len("jsonl:"):]
+        if not path:
+            raise ConfigurationError(
+                "--telemetry jsonl: needs a path, e.g. --telemetry jsonl:trace.jsonl"
+            )
+        return telemetry.session(telemetry.JsonlSink(path))
+    raise ConfigurationError(
+        f"--telemetry expects 'summary' or 'jsonl:PATH', got {spec!r}"
+    )
+
+
+def _add_telemetry_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="SINK",
+        help=(
+            "record telemetry for the run: 'summary' prints counters/timings "
+            "to stderr, 'jsonl:PATH' appends trace records to PATH"
+        ),
+    )
 
 
 def _accepts_jobs(run: Callable[..., ExperimentReport]) -> bool:
@@ -161,6 +208,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the per-experiment console output"
     )
+    _add_telemetry_option(parser)
     return parser
 
 
@@ -202,6 +250,7 @@ def _build_scenario_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--quiet", action="store_true", help="suppress the results table"
         )
+        _add_telemetry_option(p)
 
     run_parser = sub.add_parser(
         "run", help="run one scenario through the generic pipeline"
@@ -276,9 +325,10 @@ def _scenario_run(args: argparse.Namespace, overrides: dict[str, list[Any]]) -> 
     scenario = get_scenario(args.name)
     if overrides:
         scenario = scenario.with_axes(overrides, scale=args.scale)
-    result = run_scenario(
-        scenario, scale=args.scale, seed=args.seed, jobs=args.jobs
-    )
+    with _telemetry_session(getattr(args, "telemetry", None)):
+        result = run_scenario(
+            scenario, scale=args.scale, seed=args.seed, jobs=args.jobs
+        )
     records = result.to_records()
     if not args.quiet:
         print(f"{scenario.name} — {scenario.title} [scale={args.scale}]")
@@ -310,6 +360,47 @@ def _scenario_main(argv: Sequence[str]) -> int:
     return _scenario_run(args, overrides)
 
 
+# --------------------------------------------------------------------- #
+# the `profile` command
+# --------------------------------------------------------------------- #
+def _profile_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments profile",
+        description=(
+            "Run one scenario under a telemetry session and print the "
+            "per-layer breakdown: scenario pipeline, parallel engine, "
+            "analysis artifact cache, CSR sweep kernels."
+        ),
+    )
+    parser.add_argument("name", help="scenario name (see 'scenario list')")
+    parser.add_argument(
+        "--scale", default="default", help="scale preset (default: 'default')"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="master RNG seed (default: the scenario's default_seed)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (per-shard telemetry merges into the totals)",
+    )
+    parser.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also append the raw telemetry records to this JSONL file",
+    )
+    args = parser.parse_args(argv)
+    scenario = get_scenario(args.name)
+    sinks = [telemetry.JsonlSink(args.jsonl)] if args.jsonl else []
+    with telemetry.session(*sinks) as recorder:
+        run_scenario(scenario, scale=args.scale, seed=args.seed, jobs=args.jobs)
+    print(
+        telemetry.format_layer_report(
+            recorder, title=f"profile: {scenario.name} [scale={args.scale}]"
+        )
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -320,12 +411,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if argv and argv[0] == "profile":
+        try:
+            return _profile_main(argv[1:])
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
-        reports = run_experiments(
-            args.ids, scale=args.scale, seed=args.seed, jobs=args.jobs
-        )
+        with _telemetry_session(args.telemetry):
+            reports = run_experiments(
+                args.ids, scale=args.scale, seed=args.seed, jobs=args.jobs
+            )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..engine.accumulators import DEFAULT_RESERVOIR_CAPACITY
 from ..engine.driver import ProgressCallback
 from ..engine.executors import Executor, MultiprocessExecutor, resolve_executor
@@ -68,20 +70,34 @@ class ScenarioTrial:
     def __call__(
         self, params: Mapping[str, Any], rng: np.random.Generator
     ) -> dict[str, float]:
-        graph = build_graph(self.scenario.graph, params)
-        network, extras = sample_labels(self.scenario.labels, graph, params, rng)
-        ctx = TrialContext(
-            graph=graph, network=network, params=params, rng=rng, extras=extras
-        )
-        for spec in self.scenario.metrics:
-            fn = METRICS.get(spec.metric)
-            if fn is None:
-                raise ConfigurationError(
-                    f"scenario {self.scenario.name!r} references unknown metric "
-                    f"{spec.metric!r}; available: {sorted(METRICS)}"
-                )
-            ctx.metrics.update(fn(ctx, spec.options))
-        return dict(ctx.metrics)
+        with telemetry.span("scenario.trial", scenario=self.scenario.name):
+            recs = telemetry.active()
+            stamp = time.perf_counter() if recs else 0.0
+            graph = build_graph(self.scenario.graph, params)
+            if recs:
+                now = time.perf_counter()
+                for rec in recs:
+                    rec.counter("scenario.trials")
+                    rec.observe_ms("scenario.graph_build_ms", (now - stamp) * 1e3)
+                stamp = now
+            network, extras = sample_labels(self.scenario.labels, graph, params, rng)
+            if recs:
+                now = time.perf_counter()
+                for rec in recs:
+                    rec.observe_ms("scenario.label_sampling_ms", (now - stamp) * 1e3)
+            ctx = TrialContext(
+                graph=graph, network=network, params=params, rng=rng, extras=extras
+            )
+            for spec in self.scenario.metrics:
+                fn = METRICS.get(spec.metric)
+                if fn is None:
+                    raise ConfigurationError(
+                        f"scenario {self.scenario.name!r} references unknown metric "
+                        f"{spec.metric!r}; available: {sorted(METRICS)}"
+                    )
+                with telemetry.span(f"scenario.metric.{spec.metric}"):
+                    ctx.metrics.update(fn(ctx, spec.options))
+            return dict(ctx.metrics)
 
     def __getstate__(self) -> Scenario:
         return self.scenario
@@ -145,7 +161,8 @@ def _evaluate_direct_point(
 ) -> dict[str, Any]:
     """Worker entry point for direct-mode points (module-level: picklable)."""
     spec, point, rngs = args
-    return DIRECT_METRICS[spec.metric](point, rngs, spec.options)
+    with telemetry.span(f"scenario.metric.{spec.metric}"):
+        return DIRECT_METRICS[spec.metric](point, rngs, spec.options)
 
 
 def _run_direct(
@@ -173,24 +190,33 @@ def _run_direct(
     ]
     chosen = resolve_executor(executor, jobs)
     workers = chosen.jobs
-    if workers > 1 and len(work) > 1:
-        # Points own pre-spawned generator slices, so farming them out cannot
-        # change any stream; map() preserves point order.  An explicit
-        # MultiprocessExecutor's start-method choice is honoured (a caller who
-        # picked "spawn" because forking their parent is unsafe must get
-        # spawn); otherwise default to MultiprocessExecutor's own platform
-        # logic rather than re-deriving it here.
-        if isinstance(chosen, MultiprocessExecutor):
-            start_method = chosen.start_method
+    with telemetry.span(
+        "scenario.run", scenario=scenario.name, scale=scale, mode="direct"
+    ):
+        if workers > 1 and len(work) > 1:
+            # Points own pre-spawned generator slices, so farming them out cannot
+            # change any stream; map() preserves point order.  An explicit
+            # MultiprocessExecutor's start-method choice is honoured (a caller who
+            # picked "spawn" because forking their parent is unsafe must get
+            # spawn); otherwise default to MultiprocessExecutor's own platform
+            # logic rather than re-deriving it here.
+            # Telemetry caveat: these pooled workers record into fork-inherited
+            # recorder copies (or none under spawn) that are never shipped
+            # back, so direct-mode points parallelised this way contribute no
+            # per-point telemetry — unlike the engine's shard transport.
+            if isinstance(chosen, MultiprocessExecutor):
+                start_method = chosen.start_method
+            else:
+                start_method = MultiprocessExecutor(workers).start_method
+            context = multiprocessing.get_context(start_method)
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(work)), mp_context=context
+            ) as pool:
+                records = list(pool.map(_evaluate_direct_point, work))
         else:
-            start_method = MultiprocessExecutor(workers).start_method
-        context = multiprocessing.get_context(start_method)
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(work)), mp_context=context
-        ) as pool:
-            records = list(pool.map(_evaluate_direct_point, work))
-    else:
-        records = [_evaluate_direct_point(item) for item in work]
+            records = [_evaluate_direct_point(item) for item in work]
+        for rec in telemetry.active():
+            rec.counter("scenario.direct_points", len(work))
     return ScenarioRun(scenario=scenario, scale=scale, seed=seed, records=records)
 
 
@@ -251,23 +277,32 @@ def run_scenario(
     shared_executor = resolve_executor(executor, jobs)
     run = ScenarioRun(scenario=scenario, scale=scale, seed=seed)
     total_blocks = len(scale_cfg.blocks)
-    for index, block in enumerate(scale_cfg.blocks):
-        runner = MonteCarloRunner(
-            stopping=FixedBudgetStopping(scale_cfg.repetitions),
-            seed=seed,
-            executor=shared_executor,
-            shard_size=shard_size,
-            checkpoint_dir=_block_checkpoint_dir(checkpoint_dir, index, total_blocks),
-            progress=progress,
-            aggregation=aggregation,
-            reservoir_capacity=reservoir_capacity,
-        )
-        sweep = ParameterSweep(
-            {key: list(values) for key, values in block.axes.items()},
-            constants=dict(block.constants),
-        )
-        run.sweeps.append(runner.run_sweep(experiment, sweep))
-        _LOGGER.debug(
-            "scenario %s: finished block %d/%d", scenario.name, index + 1, total_blocks
-        )
+    with telemetry.span(
+        "scenario.run", scenario=scenario.name, scale=scale, mode="montecarlo"
+    ):
+        for index, block in enumerate(scale_cfg.blocks):
+            runner = MonteCarloRunner(
+                stopping=FixedBudgetStopping(scale_cfg.repetitions),
+                seed=seed,
+                executor=shared_executor,
+                shard_size=shard_size,
+                checkpoint_dir=_block_checkpoint_dir(
+                    checkpoint_dir, index, total_blocks
+                ),
+                progress=progress,
+                aggregation=aggregation,
+                reservoir_capacity=reservoir_capacity,
+            )
+            sweep = ParameterSweep(
+                {key: list(values) for key, values in block.axes.items()},
+                constants=dict(block.constants),
+            )
+            with telemetry.span("scenario.block", index=index):
+                run.sweeps.append(runner.run_sweep(experiment, sweep))
+            _LOGGER.debug(
+                "scenario %s: finished block %d/%d",
+                scenario.name,
+                index + 1,
+                total_blocks,
+            )
     return run

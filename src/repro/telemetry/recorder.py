@@ -1,0 +1,384 @@
+"""The telemetry recorder: spans, counters and timing statistics in memory.
+
+Everything in this module is plain Python over plain data — no third-party
+dependencies, no threads, no I/O — so the instrumentation layer can sit
+*below* every other subsystem (the CSR kernels import it) without creating
+import cycles or runtime baggage.
+
+Three primitives cover the repository's observability needs:
+
+* **counters** — monotonically accumulated integers keyed by dotted names
+  (``kernel.forward.sweeps``, ``analysis.cache_hit.arrival_matrix``).
+* **timing statistics** (:class:`TimingStats`) — count / total / mean /
+  variance / min / max of millisecond observations, maintained with Welford's
+  online update and merged exactly with the Chan et al. parallel rule — the
+  same machinery the engine's streaming accumulators use, so worker-side
+  recorders fold into run totals deterministically and associatively.
+* **spans** (:class:`SpanNode`) — nested wall-clock regions.  Each closed
+  span appends a node to the recorder's per-process span tree *and* feeds a
+  timing statistic under the span's name, which is what survives cross-process
+  merging (trees are per-process artifacts; statistics are mergeable).
+
+Activation model
+----------------
+A module-level stack of recorders (usually empty, occasionally one deep)
+decides whether instrumentation is live.  The disabled path — the default —
+costs one module attribute read and one truthiness check at each
+instrumentation site, which is why the instrumented kernels benchmark
+indistinguishably from the uninstrumented ones
+(``benchmarks/bench_telemetry.py`` gates this).  Instrumented code uses one
+of two idioms:
+
+* hot kernels fetch the stack once per call::
+
+      recs = telemetry.active()
+      ...
+      if recs:
+          for rec in recs:
+              rec.counter("kernel.forward.sweeps")
+
+* structural code uses the module-level helpers (:func:`span`,
+  :func:`counter`, :func:`observe_ms`), which fan out to every active
+  recorder and do nothing when the stack is empty.
+
+The stack (rather than a single slot) lets a scoped probe — e.g.
+:func:`repro.analysis_api.compute_events` — observe a region of code while an
+outer session keeps recording: events are delivered to *all* active
+recorders.  :func:`isolated` swaps the whole stack for exactly one recorder;
+the engine's shard workers use it so every shard's events are captured in a
+private recorder whose state is shipped back and merged in shard-index order
+regardless of executor (which is what makes telemetry totals bit-identical in
+counts across worker counts).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "SpanNode",
+    "TimingStats",
+    "TelemetryRecorder",
+    "active",
+    "attach",
+    "counter",
+    "isolated",
+    "observe_ms",
+    "session",
+    "span",
+]
+
+
+class TimingStats:
+    """Mergeable statistics over a stream of millisecond observations.
+
+    ``add`` consumes one observation in O(1) (Welford); ``merge`` combines two
+    partials exactly (Chan et al.), so folding worker-side statistics in a
+    fixed order reproduces a deterministic result independent of where each
+    observation was recorded.
+    """
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value_ms: float) -> None:
+        """Consume one observation (milliseconds)."""
+        value_ms = float(value_ms)
+        self.count += 1
+        delta = value_ms - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value_ms - self.mean)
+        if value_ms < self.minimum:
+            self.minimum = value_ms
+        if value_ms > self.maximum:
+            self.maximum = value_ms
+
+    def merge(self, other: "TimingStats") -> None:
+        """Fold another partial into this one (exact parallel Welford update)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def total(self) -> float:
+        """Total observed milliseconds (``count * mean``)."""
+        return self.count * self.mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations (0.0 for fewer than two)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / self.count
+
+    def to_state(self) -> dict[str, float]:
+        """JSON-able snapshot; :meth:`from_state` round-trips it."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "TimingStats":
+        """Rebuild from a :meth:`to_state` dictionary."""
+        stats = cls()
+        stats.count = int(state["count"])
+        stats.mean = float(state["mean"])
+        stats.m2 = float(state["m2"])
+        if stats.count:
+            stats.minimum = float(state["min"])
+            stats.maximum = float(state["max"])
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingStats(count={self.count}, total={self.total:.3f} ms, "
+            f"mean={self.mean:.3f} ms)"
+        )
+
+
+@dataclass
+class SpanNode:
+    """One closed wall-clock region of the per-process span tree."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    duration_ms: float = 0.0
+    children: list["SpanNode"] = field(default_factory=list)
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-able representation (children nested)."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "duration_ms": self.duration_ms,
+            "children": [child.to_record() for child in self.children],
+        }
+
+
+class TelemetryRecorder:
+    """In-memory telemetry destination: counters, timings and a span tree.
+
+    The recorder is the universal buffer — tests read it directly, the CLI
+    report formats it, and the file/stderr sinks serialise it.  Counters and
+    timing statistics are *mergeable* (:meth:`merge_state`); the span tree is
+    a per-process artifact and is not merged (each closed span also feeds the
+    timing statistic of its name, which is what crosses process boundaries).
+    """
+
+    __slots__ = ("counters", "timings", "spans", "_open")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timings: dict[str, TimingStats] = {}
+        self.spans: list[SpanNode] = []
+        self._open: list[SpanNode] = []
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def observe_ms(self, name: str, value_ms: float) -> None:
+        """Feed one millisecond observation into the timing statistic ``name``."""
+        stats = self.timings.get(name)
+        if stats is None:
+            stats = self.timings[name] = TimingStats()
+        stats.add(value_ms)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanNode]:
+        """Time a region as a child of the recorder's innermost open span."""
+        node = SpanNode(name=name, attrs=dict(attrs))
+        self._open.append(node)
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.duration_ms = (time.perf_counter() - start) * 1e3
+            self._open.pop()
+            if self._open:
+                self._open[-1].children.append(node)
+            else:
+                self.spans.append(node)
+            self.observe_ms(name, node.duration_ms)
+
+    # internal hooks used by the module-level span() fan-out, which times the
+    # region once and reports the same duration to every active recorder
+    def _enter_span(self, name: str, attrs: dict[str, Any]) -> SpanNode:
+        node = SpanNode(name=name, attrs=attrs)
+        self._open.append(node)
+        return node
+
+    def _exit_span(self, node: SpanNode, duration_ms: float) -> None:
+        node.duration_ms = duration_ms
+        self._open.pop()
+        if self._open:
+            self._open[-1].children.append(node)
+        else:
+            self.spans.append(node)
+        self.observe_ms(node.name, duration_ms)
+
+    # ------------------------------------------------------------------ #
+    # merge / state round-trip
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> dict[str, Any]:
+        """JSON-able mergeable state: counters + timing statistics.
+
+        The span tree is deliberately absent — it describes *this* process's
+        call structure; its durations are already present in ``timings``.
+        """
+        return {
+            "counters": dict(self.counters),
+            "timings": {name: stats.to_state() for name, stats in self.timings.items()},
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_state` snapshot (e.g. a worker's) into this recorder."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name, int(value))
+        for name, timing_state in state.get("timings", {}).items():
+            stats = self.timings.get(name)
+            incoming = TimingStats.from_state(timing_state)
+            if stats is None:
+                self.timings[name] = incoming
+            else:
+                stats.merge(incoming)
+
+    def merge(self, other: "TelemetryRecorder") -> None:
+        """Fold another recorder's counters and timings into this one."""
+        self.merge_state(other.to_state())
+
+    def __repr__(self) -> str:
+        return (
+            f"TelemetryRecorder(counters={len(self.counters)}, "
+            f"timings={len(self.timings)}, spans={len(self.spans)})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# the active-recorder stack
+# --------------------------------------------------------------------- #
+_STACK: tuple[TelemetryRecorder, ...] = ()
+
+
+def active() -> tuple[TelemetryRecorder, ...]:
+    """The currently active recorders (empty tuple = telemetry disabled).
+
+    Hot code fetches this once per call and skips all instrumentation when it
+    is empty — that single check is the entire disabled-path overhead.
+    """
+    return _STACK
+
+
+@contextmanager
+def attach(recorder: TelemetryRecorder) -> Iterator[TelemetryRecorder]:
+    """Push an existing recorder onto the active stack for the ``with`` body.
+
+    Events inside the body are delivered to ``recorder`` *and* to any outer
+    recorders — the scoped-probe composition rule.
+    """
+    global _STACK
+    _STACK = _STACK + (recorder,)
+    try:
+        yield recorder
+    finally:
+        _STACK = tuple(r for r in _STACK if r is not recorder)
+
+
+@contextmanager
+def session(*sinks: Any) -> Iterator[TelemetryRecorder]:
+    """Record everything in the ``with`` body into a fresh recorder.
+
+    On exit each ``sink`` (an object with ``emit(recorder)``, e.g.
+    :class:`~repro.telemetry.sinks.JsonlSink` or
+    :class:`~repro.telemetry.sinks.StderrSummarySink`) receives the final
+    recorder — even when the body raises, so partial telemetry of a failed
+    run is still flushed.
+    """
+    recorder = TelemetryRecorder()
+    with attach(recorder):
+        try:
+            yield recorder
+        finally:
+            for sink in sinks:
+                sink.emit(recorder)
+
+
+@contextmanager
+def isolated(recorder: TelemetryRecorder) -> Iterator[TelemetryRecorder]:
+    """Make ``recorder`` the *only* active recorder for the ``with`` body.
+
+    Used by shard workers: the shard's events must be captured exactly once —
+    in the worker recorder whose state is shipped back and merged by the
+    driver — never directly into an ambient session recorder, or serial and
+    multiprocess runs would double-count.
+    """
+    global _STACK
+    previous = _STACK
+    _STACK = (recorder,)
+    try:
+        yield recorder
+    finally:
+        _STACK = previous
+
+
+def counter(name: str, value: int = 1) -> None:
+    """Add to a counter on every active recorder (no-op when disabled)."""
+    for recorder in _STACK:
+        recorder.counter(name, value)
+
+
+def observe_ms(name: str, value_ms: float) -> None:
+    """Feed a timing observation to every active recorder (no-op when disabled)."""
+    for recorder in _STACK:
+        recorder.observe_ms(name, value_ms)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[None]:
+    """Time a region on every active recorder; a cheap no-op when disabled.
+
+    The region is timed once; every active recorder receives a span node (in
+    its own tree position) and a timing observation with the same duration.
+    """
+    recs = _STACK
+    if not recs:
+        yield None
+        return
+    nodes = [rec._enter_span(name, dict(attrs)) for rec in recs]
+    start = time.perf_counter()
+    try:
+        yield None
+    finally:
+        duration_ms = (time.perf_counter() - start) * 1e3
+        for rec, node in zip(recs, nodes):
+            rec._exit_span(node, duration_ms)

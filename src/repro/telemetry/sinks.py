@@ -1,0 +1,130 @@
+"""Telemetry sinks: where a finished recording session is delivered.
+
+A sink is any object with ``emit(recorder)``; :func:`repro.telemetry.session`
+calls it once when the session closes (including on failure, so partial
+telemetry survives a crash).  Three destinations ship with the repository:
+
+* the in-memory :class:`~repro.telemetry.recorder.TelemetryRecorder` itself —
+  no sink needed; tests and the ``profile`` command read it directly;
+* :class:`JsonlSink` — one self-describing JSON record per line, the
+  machine-readable trace format (:func:`read_jsonl` parses it back);
+* :class:`StderrSummarySink` — a human-readable counters/timings summary on
+  stderr, for ad-hoc CLI runs (``--telemetry summary``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, IO, Iterator, Protocol
+
+from .recorder import SpanNode, TelemetryRecorder
+
+__all__ = ["TelemetrySink", "JsonlSink", "StderrSummarySink", "read_jsonl"]
+
+
+class TelemetrySink(Protocol):
+    """Destination for a closed telemetry session."""
+
+    def emit(self, recorder: TelemetryRecorder) -> None:
+        """Deliver the session's recorder to the destination."""
+
+
+def _iter_span_records(
+    spans: list[SpanNode], path: tuple[str, ...]
+) -> Iterator[dict[str, Any]]:
+    for span in spans:
+        span_path = path + (span.name,)
+        yield {
+            "kind": "span",
+            "name": span.name,
+            "path": "/".join(span_path),
+            "depth": len(path),
+            "duration_ms": span.duration_ms,
+            "attrs": dict(span.attrs),
+        }
+        yield from _iter_span_records(span.children, span_path)
+
+
+def recorder_to_records(recorder: TelemetryRecorder) -> list[dict[str, Any]]:
+    """Flatten a recorder into self-describing JSON-able records.
+
+    One ``span`` record per span-tree node (depth-first, with its slash-joined
+    path), one ``counter`` record per counter, one ``timing`` record per
+    timing statistic.  This is the JSONL line format.
+    """
+    records: list[dict[str, Any]] = []
+    records.extend(_iter_span_records(recorder.spans, ()))
+    for name in sorted(recorder.counters):
+        records.append(
+            {"kind": "counter", "name": name, "value": recorder.counters[name]}
+        )
+    for name in sorted(recorder.timings):
+        records.append(
+            {"kind": "timing", "name": name, **recorder.timings[name].to_state()}
+        )
+    return records
+
+
+class JsonlSink:
+    """Append the session's records to a JSONL file (one JSON object per line).
+
+    The directory is created if missing.  Records are written on session
+    close; concatenating the files of several runs stays parseable, which is
+    what makes the format suitable for a perf-trajectory archive.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+
+    def emit(self, recorder: TelemetryRecorder) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for record in recorder_to_records(recorder):
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __repr__(self) -> str:
+        return f"JsonlSink({os.fspath(self.path)!r})"
+
+
+def read_jsonl(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Parse a :class:`JsonlSink` file back into its list of records."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class StderrSummarySink:
+    """Print a compact counters/timings summary (stderr by default)."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream
+
+    def emit(self, recorder: TelemetryRecorder) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        print("telemetry summary", file=stream)
+        if not recorder.counters and not recorder.timings:
+            print("  (no events recorded)", file=stream)
+            return
+        if recorder.counters:
+            print("  counters:", file=stream)
+            for name in sorted(recorder.counters):
+                print(f"    {name} = {recorder.counters[name]}", file=stream)
+        if recorder.timings:
+            print("  timings:", file=stream)
+            for name in sorted(recorder.timings):
+                stats = recorder.timings[name]
+                print(
+                    f"    {name}: count={stats.count} total={stats.total:.3f} ms "
+                    f"mean={stats.mean:.3f} ms max={stats.maximum:.3f} ms",
+                    file=stream,
+                )
+
+    def __repr__(self) -> str:
+        return "StderrSummarySink()"

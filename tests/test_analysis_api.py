@@ -47,17 +47,36 @@ def clique_network():
     return normalized_urtn(complete_graph(24, directed=True), seed=7)
 
 
+class _LiveCounts:
+    """Dict-like live view of a :class:`ComputeEvents` scope's compute counts."""
+
+    def __init__(self, events: analysis_api.ComputeEvents) -> None:
+        self._events = events
+
+    def _counts(self) -> dict[str, int]:
+        return self._events.counts
+
+    def __eq__(self, other: object) -> bool:
+        return self._counts() == other
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts()[key]
+
+    def get(self, key: str, default: int | None = None) -> int | None:
+        return self._counts().get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counts()
+
+    def __repr__(self) -> str:
+        return repr(self._counts())
+
+
 @pytest.fixture
 def counting_hook():
-    """Install a per-artifact compute counter for the duration of a test."""
-    counts: dict[str, int] = {}
-    previous = analysis_api.set_compute_hook(
-        lambda artifact, analysis: counts.__setitem__(
-            artifact, counts.get(artifact, 0) + 1
-        )
-    )
-    yield counts
-    analysis_api.set_compute_hook(previous)
+    """Scoped per-artifact compute counter (the compute_events probe)."""
+    with analysis_api.compute_events() as events:
+        yield _LiveCounts(events)
 
 
 class TestHandleMatchesFreeFunctions:
@@ -152,10 +171,44 @@ class TestMemoization:
         assert analysis.diameter == before
         assert counting_hook["arrival_matrix"] == 2
 
-    def test_set_compute_hook_returns_previous(self):
+    def test_set_compute_hook_returns_previous_and_warns(self):
         first = lambda artifact, analysis: None  # noqa: E731
-        assert analysis_api.set_compute_hook(first) is None
-        assert analysis_api.set_compute_hook(None) is first
+        with pytest.deprecated_call():
+            assert analysis_api.set_compute_hook(first) is None
+        with pytest.deprecated_call():
+            assert analysis_api.set_compute_hook(None) is first
+
+    def test_deprecated_hook_still_fires_on_computes(self, clique_network):
+        events: list[str] = []
+        with pytest.deprecated_call():
+            previous = analysis_api.set_compute_hook(
+                lambda artifact, analysis: events.append(artifact)
+            )
+        try:
+            analysis = NetworkAnalysis(clique_network)
+            analysis.arrival_matrix()
+            analysis.arrival_matrix()  # cache hit: no event
+        finally:
+            with pytest.deprecated_call():
+                analysis_api.set_compute_hook(previous)
+        assert events == ["arrival_matrix"]
+
+    def test_compute_events_reports_hits(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        with analysis_api.compute_events() as events:
+            analysis.arrival_matrix()
+            analysis.arrival_matrix()
+        assert events.counts == {"arrival_matrix": 1}
+        assert events.hits == {"arrival_matrix": 1}
+
+    def test_compute_events_nests_and_composes(self, clique_network):
+        analysis = NetworkAnalysis(clique_network)
+        with analysis_api.compute_events() as outer:
+            with analysis_api.compute_events() as inner:
+                analysis.arrival_matrix()
+            analysis.eccentricities()
+        assert inner.counts == {"arrival_matrix": 1}
+        assert outer.counts == {"arrival_matrix": 1, "eccentricities": 1}
 
     def test_returned_arrays_are_read_only(self, clique_network):
         analysis = NetworkAnalysis(clique_network)

@@ -1,0 +1,394 @@
+"""Tests for the telemetry subsystem (repro.telemetry) and its integrations.
+
+Covers the recorder primitives (counters, Welford timing statistics, span
+trees), the activation stack (disabled no-op path, scoped attach, isolated),
+the sinks (JSONL round-trip, stderr summary), the layered report, the
+analysis-handle cache pins, the engine's cross-process counter transport, and
+the CLI surface (``--telemetry``, ``repro-experiments profile``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import complete_graph, normalized_urtn, telemetry
+from repro.analysis_api import NetworkAnalysis, compute_events
+from repro.core.journeys import earliest_arrival_matrix
+from repro.engine.driver import run_sharded
+from repro.engine.executors import ShardResult
+from repro.experiments.registry import main
+from repro.montecarlo.experiment import Experiment
+from repro.scenarios.metrics import METRICS, TrialContext
+from repro.scenarios.specs import MetricSpec
+from repro.telemetry import (
+    JsonlSink,
+    StderrSummarySink,
+    TelemetryRecorder,
+    TimingStats,
+    format_layer_report,
+    read_jsonl,
+)
+from repro.telemetry.sinks import recorder_to_records
+
+
+def _coin_trial(params, rng):
+    """Module-level trial so the multiprocess executor can pickle it."""
+    analysis = NetworkAnalysis(
+        normalized_urtn(
+            complete_graph(int(params.get("n", 8)), directed=True),
+            seed=int(rng.integers(2**31)),
+        )
+    )
+    return {"diameter": float(analysis.diameter)}
+
+
+class TestDisabledPath:
+    """Telemetry off — the default — must be a strict no-op."""
+
+    def test_no_recorders_active_by_default(self):
+        assert telemetry.active() == ()
+
+    def test_module_helpers_are_noops_when_disabled(self):
+        # None of these may raise or create hidden state.
+        telemetry.counter("kernel.forward.sweeps")
+        telemetry.observe_ms("kernel.forward.sweep_ms", 1.0)
+        with telemetry.span("scenario.run", scenario="none"):
+            pass
+        assert telemetry.active() == ()
+
+    def test_instrumented_kernel_records_nothing_when_disabled(self):
+        network = normalized_urtn(complete_graph(8, directed=True), seed=0)
+        with telemetry.session() as probe:
+            pass  # close immediately: probe stays empty
+        earliest_arrival_matrix(network)  # outside any session
+        assert probe.counters == {}
+        assert probe.timings == {}
+
+
+class TestRecorder:
+    def test_counters_accumulate(self):
+        rec = TelemetryRecorder()
+        rec.counter("a.b")
+        rec.counter("a.b", 4)
+        rec.counter("c")
+        assert rec.counters == {"a.b": 5, "c": 1}
+
+    def test_timing_stats_match_numpy(self):
+        data = np.random.default_rng(7).exponential(size=193)
+        stats = TimingStats()
+        for x in data:
+            stats.add(float(x))
+        assert stats.count == 193
+        assert stats.mean == pytest.approx(float(np.mean(data)))
+        assert stats.variance == pytest.approx(float(np.var(data)))
+        assert stats.minimum == pytest.approx(float(np.min(data)))
+        assert stats.maximum == pytest.approx(float(np.max(data)))
+        assert stats.total == pytest.approx(float(np.sum(data)))
+
+    def test_nested_spans_build_a_tree_and_feed_timings(self):
+        rec = TelemetryRecorder()
+        with rec.span("outer", label="x"):
+            with rec.span("inner"):
+                pass
+            with rec.span("inner"):
+                pass
+        assert [node.name for node in rec.spans] == ["outer"]
+        outer = rec.spans[0]
+        assert outer.attrs == {"label": "x"}
+        assert [child.name for child in outer.children] == ["inner", "inner"]
+        # Every closed span also feeds the timing statistic of its name.
+        assert rec.timings["outer"].count == 1
+        assert rec.timings["inner"].count == 2
+        assert rec.timings["outer"].total >= rec.timings["inner"].total
+
+    def test_module_span_nests_across_all_active_recorders(self):
+        with telemetry.session() as outer_rec:
+            with telemetry.span("outer"):
+                inner_rec = TelemetryRecorder()
+                with telemetry.attach(inner_rec):
+                    with telemetry.span("inner"):
+                        telemetry.counter("hits")
+        # The outer recorder saw the whole tree; the scoped probe saw only
+        # what happened inside its attach window.
+        assert [n.name for n in outer_rec.spans] == ["outer"]
+        assert [n.name for n in outer_rec.spans[0].children] == ["inner"]
+        assert outer_rec.counters == {"hits": 1}
+        assert [n.name for n in inner_rec.spans] == ["inner"]
+        assert inner_rec.counters == {"hits": 1}
+
+    def test_isolated_hides_outer_recorders(self):
+        with telemetry.session() as outer_rec:
+            shard_rec = TelemetryRecorder()
+            with telemetry.isolated(shard_rec):
+                telemetry.counter("engine.shards")
+            telemetry.counter("visible")
+        assert outer_rec.counters == {"visible": 1}
+        assert shard_rec.counters == {"engine.shards": 1}
+
+    def test_session_flushes_sinks_even_on_failure(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError):
+            with telemetry.session(JsonlSink(path)):
+                telemetry.counter("partial")
+                raise RuntimeError("boom")
+        records = read_jsonl(path)
+        assert {"kind": "counter", "name": "partial", "value": 1} in records
+
+
+class TestMerge:
+    """Worker-side partials must fold into run totals exactly."""
+
+    def test_timing_merge_is_exact_across_simulated_workers(self):
+        data = np.random.default_rng(11).gamma(2.0, size=240)
+        reference = TimingStats()
+        for x in data:
+            reference.add(float(x))
+        # Split the same stream over 5 "workers" with uneven shard sizes and
+        # fold them in order — like the driver folds shard states.
+        merged = TimingStats()
+        bounds = [0, 7, 48, 100, 101, 240]
+        for lo, hi in zip(bounds, bounds[1:]):
+            worker = TimingStats()
+            for x in data[lo:hi]:
+                worker.add(float(x))
+            merged.merge(worker)
+        assert merged.count == reference.count
+        assert merged.mean == pytest.approx(reference.mean, rel=1e-12)
+        assert merged.variance == pytest.approx(reference.variance, rel=1e-12)
+        assert merged.minimum == reference.minimum
+        assert merged.maximum == reference.maximum
+
+    def test_timing_merge_handles_empty_partials(self):
+        stats = TimingStats()
+        stats.merge(TimingStats())
+        assert stats.count == 0
+        stats.add(3.0)
+        stats.merge(TimingStats())
+        assert stats.count == 1 and stats.mean == 3.0
+
+    def test_timing_state_round_trip(self):
+        stats = TimingStats()
+        for x in (1.0, 4.0, 2.5):
+            stats.add(x)
+        clone = TimingStats.from_state(stats.to_state())
+        assert clone.count == stats.count
+        assert clone.mean == stats.mean
+        assert clone.m2 == stats.m2
+        assert clone.minimum == stats.minimum
+        assert clone.maximum == stats.maximum
+        empty = TimingStats.from_state(TimingStats().to_state())
+        assert empty.count == 0 and math.isinf(empty.minimum)
+
+    def test_recorder_merge_state_adds_counters_and_timings(self):
+        worker = TelemetryRecorder()
+        worker.counter("engine.trials", 4)
+        worker.observe_ms("engine.shard_ms", 10.0)
+        parent = TelemetryRecorder()
+        parent.counter("engine.trials", 2)
+        parent.merge_state(worker.to_state())
+        parent.merge_state(worker.to_state())
+        assert parent.counters["engine.trials"] == 10
+        assert parent.timings["engine.shard_ms"].count == 2
+
+    def test_span_trees_do_not_cross_process_state(self):
+        rec = TelemetryRecorder()
+        with rec.span("worker.region"):
+            pass
+        state = rec.to_state()
+        assert "spans" not in state
+        # ...but the span's duration travels as its timing statistic.
+        assert state["timings"]["worker.region"]["count"] == 1
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry.session(JsonlSink(path)) as rec:
+            with telemetry.span("scenario.run", scenario="t"):
+                with telemetry.span("scenario.trial"):
+                    telemetry.counter("scenario.trials")
+            telemetry.observe_ms("scenario.graph_build_ms", 2.0)
+        records = read_jsonl(path)
+        assert records == recorder_to_records(rec)
+        kinds = {record["kind"] for record in records}
+        assert kinds == {"span", "counter", "timing"}
+        trial_span = next(r for r in records if r["path"] == "scenario.run/scenario.trial")
+        assert trial_span["depth"] == 1
+        timing = next(
+            r for r in records
+            if r["kind"] == "timing" and r["name"] == "scenario.graph_build_ms"
+        )
+        assert timing["count"] == 1 and timing["mean"] == 2.0
+
+    def test_jsonl_appends_across_sessions(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with telemetry.session(JsonlSink(path)):
+                telemetry.counter("runs")
+        records = read_jsonl(path)
+        assert [r["value"] for r in records if r["kind"] == "counter"] == [1, 1]
+
+    def test_stderr_summary_sink_writes_to_stream(self):
+        import io
+
+        stream = io.StringIO()
+        with telemetry.session(StderrSummarySink(stream)):
+            telemetry.counter("kernel.forward.sweeps", 3)
+            telemetry.observe_ms("kernel.forward.sweep_ms", 5.0)
+        out = stream.getvalue()
+        assert "kernel.forward.sweeps = 3" in out
+        assert "kernel.forward.sweep_ms" in out
+
+
+class TestAnalysisCachePins:
+    """The artifact-cache counters pin the handle's compute-once contract."""
+
+    def test_four_metric_suite_one_compute_three_hits(self):
+        network = normalized_urtn(complete_graph(32, directed=True), seed=3)
+        suite = [
+            MetricSpec("distance_summary"),
+            MetricSpec("temporal_diameter"),
+            MetricSpec("strong_reachability"),
+            MetricSpec("temporal_centrality"),
+        ]
+        with compute_events() as events:
+            ctx = TrialContext(
+                graph=None, network=network, params={"n": 32},
+                rng=np.random.default_rng(0),
+            )
+            for spec in suite:
+                ctx.metrics.update(METRICS[spec.metric](ctx, spec.options))
+            # The acceptance pin: one arrival-matrix sweep serves the whole
+            # suite; every later consumer is a cache hit.
+            assert events.counts["arrival_matrix"] == 1
+            assert events.hits["arrival_matrix"] == 3
+
+    def test_kernel_counters_under_the_handle(self):
+        network = normalized_urtn(complete_graph(16, directed=True), seed=1)
+        with telemetry.session() as rec:
+            NetworkAnalysis(network).summary
+        assert rec.counters["kernel.forward.sweeps"] == 1
+        assert rec.counters["kernel.forward.sources"] == 16
+        assert rec.timings["analysis.compute_ms.arrival_matrix"].count == 1
+
+
+class TestEngineTransport:
+    """Worker-side recorders ship home and merge identically across executors."""
+
+    def _run(self, jobs):
+        experiment = Experiment(name="telemetry-parity", trial=_coin_trial)
+        with telemetry.session() as rec:
+            result = run_sharded(
+                experiment, budget=8, seed=42, jobs=jobs, shard_size=2
+            )
+        return result, rec
+
+    def test_jobs2_counters_identical_to_serial(self):
+        serial_result, serial_rec = self._run(jobs=None)
+        parallel_result, parallel_rec = self._run(jobs=2)
+        assert serial_result.values == parallel_result.values
+        assert serial_rec.counters == parallel_rec.counters
+        # Timing *counts* are deterministic too (the observed values are not).
+        assert {name: stats.count for name, stats in serial_rec.timings.items()} == {
+            name: stats.count for name, stats in parallel_rec.timings.items()
+        }
+        assert serial_rec.counters["engine.shards"] == 4
+        assert serial_rec.counters["engine.trials"] == 8
+        assert serial_rec.counters["engine.shards_completed"] == 4
+        assert serial_rec.counters["analysis.compute.arrival_matrix"] == 8
+        assert serial_rec.counters["kernel.forward.sweeps"] == 8
+
+    def test_no_telemetry_state_when_disabled(self):
+        experiment = Experiment(name="telemetry-off", trial=_coin_trial)
+        assert telemetry.active() == ()
+        result = run_sharded(experiment, budget=2, seed=1, shard_size=2)
+        assert result.repetitions == 2
+
+    def test_shard_result_payload_round_trip(self):
+        rec = TelemetryRecorder()
+        rec.counter("engine.trials", 3)
+        rec.observe_ms("engine.shard_ms", 1.5)
+        result = ShardResult(
+            index=0, start=0, stop=3, repetitions=3, values=None,
+            accumulator_state={}, telemetry_state=rec.to_state(),
+        )
+        clone = ShardResult.from_payload(result.to_payload())
+        assert clone.telemetry_state == result.telemetry_state
+
+    def test_pre_telemetry_checkpoints_still_load(self):
+        result = ShardResult(
+            index=0, start=0, stop=1, repetitions=1, values=None,
+            accumulator_state={},
+        )
+        payload = result.to_payload()
+        del payload["telemetry"]  # a checkpoint written before telemetry existed
+        clone = ShardResult.from_payload(payload)
+        assert clone.telemetry_state is None
+
+
+class TestReport:
+    def test_layer_report_groups_namespaces(self):
+        rec = TelemetryRecorder()
+        rec.counter("kernel.forward.sweeps", 2)
+        rec.counter("analysis.compute.arrival_matrix", 1)
+        rec.counter("analysis.cache_hit.arrival_matrix", 3)
+        rec.counter("engine.trials", 8)
+        rec.counter("scenario.trials", 8)
+        rec.counter("misc.other")
+        report = format_layer_report(rec, title="profile: test")
+        assert "profile: test" in report
+        assert "Scenario pipeline" in report
+        assert "Parallel engine" in report
+        assert "CSR sweep kernels" in report
+        assert "arrival_matrix" in report
+        assert "misc.other" in report
+
+    def test_empty_recorder_reports_placeholder(self):
+        assert "(no telemetry recorded)" in format_layer_report(TelemetryRecorder())
+
+
+class TestCli:
+    def test_scenario_run_with_jsonl_telemetry(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        exit_code = main(
+            [
+                "scenario", "run", "clique-temporal-centrality",
+                "--scale", "quick", "--seed", "7",
+                "--telemetry", f"jsonl:{trace}",
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        records = read_jsonl(trace)
+        counters = {r["name"]: r["value"] for r in records if r["kind"] == "counter"}
+        assert counters["scenario.trials"] == counters["engine.trials"]
+        assert counters["analysis.compute.arrival_matrix"] >= 1
+
+    def test_invalid_telemetry_spec_rejected(self, capsys):
+        exit_code = main(
+            [
+                "scenario", "run", "clique-temporal-centrality",
+                "--scale", "quick", "--telemetry", "nonsense",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "telemetry" in (captured.out + captured.err)
+
+    def test_profile_command_prints_layer_report(self, capsys):
+        exit_code = main(
+            ["profile", "clique-temporal-centrality", "--scale", "quick", "--seed", "7"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Analysis handle (artifact cache)" in captured.out
+        assert "arrival_matrix" in captured.out
+
+    def test_profile_unknown_scenario_fails(self, capsys):
+        exit_code = main(["profile", "no-such-scenario"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "no-such-scenario" in (captured.out + captured.err)
