@@ -1,0 +1,171 @@
+"""Per-backend sweep-kernel benchmarks and the compiled-backend speed gates.
+
+Two jobs:
+
+* ``test_backend_sweep_timings`` — measure every usable backend on the
+  normalized U-RT clique at n ∈ {256, 512, 2048} (single-source forward and
+  single-target reverse sweeps) and persist the numbers as one perf record
+  per backend, tagged with the backend name.  These are the measurements
+  quoted in ``docs/performance.md``.
+* ``test_numba_forward_speedup_at_least_5x`` /
+  ``test_numba_reverse_speedup_at_least_3x`` — the ISSUE acceptance gates:
+  the numba backend must beat the NumPy reference single-thread on the
+  n = 512 clique by ≥ 5× (forward) and ≥ 3× (reverse).  Both gates — and the
+  timing sweep's numba leg — auto-skip when numba is not importable, so the
+  default NumPy-only environment stays green; the CI job that installs numba
+  runs them for real.
+
+JIT warm-up is excluded from every measurement: each backend's ``warm_up()``
+is called (and for numba, compiles and caches the jitted loops) before the
+first timed sweep, exactly as ``docs/kernels.md`` prescribes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.journeys import earliest_arrival_times
+from repro.core.labeling import normalized_urtn
+from repro.core.reverse_journeys import latest_departure_times
+from repro.graphs.generators import complete_graph
+
+#: Sizes quoted in docs/performance.md.
+SIZES = (256, 512, 2048)
+#: The gate instance size from the ISSUE.
+GATE_N = 512
+#: Sweeps per timing sample (distinct sources/targets, evenly spread).
+PROBES = 8
+
+_numba_reason = kernels.backend_unavailable_reason("numba")
+requires_numba = pytest.mark.skipif(
+    _numba_reason is not None, reason=f"backend 'numba': {_numba_reason}"
+)
+
+_instances: dict[int, object] = {}
+
+
+def _instance(n: int):
+    network = _instances.get(n)
+    if network is None:
+        network = _instances[n] = normalized_urtn(
+            complete_graph(n, directed=True), seed=7
+        )
+        network.timearc_csr  # build the CSR once, outside every timing
+    return network
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _probes(n: int) -> list[int]:
+    return list(range(0, n, n // PROBES))[:PROBES]
+
+
+def _time_forward(network, backend: str, attempts: int = 3) -> float:
+    """Best-of wall-clock seconds for PROBES single-source forward sweeps."""
+    best = float("inf")
+    for _ in range(attempts):
+        start = time.perf_counter()
+        for source in _probes(network.n):
+            earliest_arrival_times(network, source, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_reverse(network, backend: str, attempts: int = 3) -> float:
+    best = float("inf")
+    for _ in range(attempts):
+        start = time.perf_counter()
+        for target in _probes(network.n):
+            latest_departure_times(network, target, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measured_backends(n: int) -> list[str]:
+    """Usable backends worth timing at size ``n``.
+
+    The interpreted ``python`` backend exists for debugging and parity, not
+    speed; measuring it beyond n = 256 only wastes minutes.
+    """
+    names = [
+        name
+        for name in kernels.available_backends()
+        if kernels.get_backend(name).priority >= 0
+    ]
+    if n <= 256 and "python" in kernels.available_backends():
+        names.append("python")
+    return names
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_backend_sweep_timings(n, perf_record):
+    """Measure every usable backend; one tagged perf record per (backend, n)."""
+    network = _instance(n)
+    for name in _measured_backends(n):
+        kernels.get_backend(name).warm_up()  # JIT cost stays out of the clock
+        forward_seconds = _time_forward(network, name)
+        reverse_seconds = _time_reverse(network, name)
+        perf_record(
+            name=f"kernel_backend_{name}_n{n}",
+            backend=name,
+            n=n,
+            sweeps=PROBES,
+            forward_ms_per_sweep=forward_seconds / PROBES * 1e3,
+            reverse_ms_per_sweep=reverse_seconds / PROBES * 1e3,
+        )
+    # Sanity anchor so a silent mis-dispatch can't produce an empty record:
+    # every measured backend agrees with numpy on one probe.
+    reference = earliest_arrival_times(network, 0, backend="numpy")
+    for name in _measured_backends(n):
+        np.testing.assert_array_equal(
+            earliest_arrival_times(network, 0, backend=name), reference
+        )
+
+
+def _speedup_gate(perf_record, *, direction: str, required: float) -> None:
+    cpus = _usable_cpus()
+    if cpus < 2:
+        pytest.skip(f"only {cpus} usable core(s); timing noise swamps the gate")
+    network = _instance(GATE_N)
+    timer = _time_forward if direction == "forward" else _time_reverse
+    kernels.get_backend("numba").warm_up()
+    numba_seconds = timer(network, "numba", attempts=5)
+    numpy_seconds = timer(network, "numpy", attempts=5)
+    speedup = numpy_seconds / numba_seconds
+    perf_record(
+        name=f"kernel_backend_numba_{direction}_speedup",
+        backend="numba",
+        baseline="numpy",
+        direction=direction,
+        n=GATE_N,
+        numba_seconds=numba_seconds,
+        numpy_seconds=numpy_seconds,
+        speedup=speedup,
+        required=required,
+    )
+    assert speedup >= required, (
+        f"numba {direction} sweep only {speedup:.2f}x faster than numpy at "
+        f"n={GATE_N} ({numba_seconds * 1e3:.1f} ms vs "
+        f"{numpy_seconds * 1e3:.1f} ms, required {required}x)"
+    )
+
+
+@requires_numba
+def test_numba_forward_speedup_at_least_5x(perf_record):
+    """ISSUE gate: numba ≥ 5x over NumPy on the n=512 forward sweep."""
+    _speedup_gate(perf_record, direction="forward", required=5.0)
+
+
+@requires_numba
+def test_numba_reverse_speedup_at_least_3x(perf_record):
+    """ISSUE gate: numba ≥ 3x over NumPy on the n=512 reverse sweep."""
+    _speedup_gate(perf_record, direction="reverse", required=3.0)

@@ -88,13 +88,13 @@ from .core import (
     uniform_random_labels,
 )
 from . import telemetry
+from .core import kernels
 from .analysis_api import (
     ComputeEvents,
     DistanceSummary,
     NetworkAnalysis,
     PorAudit,
     compute_events,
-    set_compute_hook,
 )
 from .montecarlo import (
     Experiment,
@@ -194,9 +194,10 @@ __all__ = [
     "NetworkAnalysis",
     "PorAudit",
     "compute_events",
-    "set_compute_hook",
     # telemetry (spans, counters, sinks, the layered profile report)
     "telemetry",
+    # pluggable sweep kernel backends (numpy / numba / cython / python)
+    "kernels",
     # monte carlo
     "Experiment",
     "MonteCarloRunner",

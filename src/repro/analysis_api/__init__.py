@@ -16,8 +16,7 @@ quantity per instance — should hold a handle.  ``docs/api.md`` documents the
 full surface and the migration mapping.
 
 Cache behaviour is observable: :func:`compute_events` opens a scoped probe
-over artifact computations and cache hits (built on :mod:`repro.telemetry`),
-replacing the deprecated process-global :func:`set_compute_hook`.
+over artifact computations and cache hits (built on :mod:`repro.telemetry`).
 """
 
 from .handle import (
@@ -26,7 +25,6 @@ from .handle import (
     NetworkAnalysis,
     PorAudit,
     compute_events,
-    set_compute_hook,
 )
 
 __all__ = [
@@ -35,5 +33,4 @@ __all__ = [
     "NetworkAnalysis",
     "PorAudit",
     "compute_events",
-    "set_compute_hook",
 ]

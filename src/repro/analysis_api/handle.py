@@ -73,22 +73,21 @@ emits ``analysis.cache_hit.<artifact>``.  :func:`compute_events` opens a
 >>> events.counts["arrival_matrix"], events.hits["summary"]
 (1, 1)
 
-— and composes with any outer :func:`repro.telemetry.session`.  The legacy
-process-global :func:`set_compute_hook` is kept as a deprecated shim.
+— and composes with any outer :func:`repro.telemetry.session`.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..types import NEVER, UNREACHABLE, as_vertex_array
+from ..core import kernels
 from ..core.journeys import earliest_arrival_matrix, earliest_arrival_times
 from ..core.reverse_journeys import latest_departure_matrix, latest_departure_times
 from ..core.temporal_graph import TemporalGraph
@@ -104,10 +103,9 @@ __all__ = [
     "NetworkAnalysis",
     "PorAudit",
     "compute_events",
-    "set_compute_hook",
 ]
 
-#: Artifact names reported to the compute hook, in dependency order.
+#: Artifact names reported to the telemetry probes, in dependency order.
 ARTIFACTS = (
     "arrival_matrix",
     "eccentricities",
@@ -121,37 +119,6 @@ ARTIFACTS = (
     "expansion",
     "por_audit",
 )
-
-ComputeHook = Callable[[str, "NetworkAnalysis"], None]
-
-_compute_hook: ComputeHook | None = None
-
-
-def set_compute_hook(hook: ComputeHook | None) -> ComputeHook | None:
-    """Install a global artifact-computation callback; returns the previous one.
-
-    .. deprecated::
-        Use the scoped :func:`compute_events` context manager (or a full
-        :func:`repro.telemetry.session`) instead — it composes across nested
-        probes and is transported through the parallel engine's shard workers,
-        which a process-global hook is not.
-
-    ``hook(artifact, analysis)`` fires each time a :class:`NetworkAnalysis`
-    actually computes a shared artifact (never on a cache hit).  Pass ``None``
-    to uninstall.  The hook is process-global, so multiprocess trial workers
-    each see their own (installed-at-fork or not at all).
-    """
-    warnings.warn(
-        "set_compute_hook is deprecated; use the scoped compute_events() "
-        "context manager (repro.analysis_api.compute_events) or a "
-        "repro.telemetry session instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    global _compute_hook
-    previous = _compute_hook
-    _compute_hook = hook
-    return previous
 
 
 class ComputeEvents:
@@ -199,9 +166,8 @@ def compute_events() -> Iterator[ComputeEvents]:
     """Scoped probe over :class:`NetworkAnalysis` artifact computations.
 
     Attaches a private telemetry recorder for the duration of the ``with``
-    block and yields a :class:`ComputeEvents` view of it.  Unlike the
-    deprecated :func:`set_compute_hook` the probe is scoped (no global state
-    to restore), nests, and composes with an outer
+    block and yields a :class:`ComputeEvents` view of it.  The probe is
+    scoped (no global state to restore), nests, and composes with an outer
     :func:`repro.telemetry.session` — both see the same events.
 
     >>> from repro import NetworkAnalysis, complete_graph, normalized_urtn
@@ -284,13 +250,17 @@ class NetworkAnalysis:
 
     The handle never mutates the network (label data is immutable after
     construction), so its caches cannot go stale; :meth:`invalidate` exists
-    for callers who want to force recomputation anyway (e.g. after installing
-    a compute hook).  Arrays returned by the artifact accessors are read-only
-    views of the shared caches.
+    for callers who want to force recomputation anyway.  Arrays returned by
+    the artifact accessors are read-only views of the shared caches.
+
+    ``kernel_backend`` pins every sweep the handle runs to one named
+    :mod:`repro.core.kernels` backend (strict: an unusable name raises at the
+    first sweep); the default ``None`` uses the registry's ambient selection.
     """
 
     __slots__ = (
         "_network",
+        "_kernel_backend",
         "_matrix",
         "_ecc",
         "_reach",
@@ -304,12 +274,19 @@ class NetworkAnalysis:
         "_por_audits",
     )
 
-    def __init__(self, network: TemporalGraph) -> None:
+    def __init__(
+        self, network: TemporalGraph, *, kernel_backend: str | None = None
+    ) -> None:
         if not isinstance(network, TemporalGraph):
             raise ConfigurationError(
                 f"NetworkAnalysis wraps a TemporalGraph, got {type(network).__name__}"
             )
+        if kernel_backend is not None:
+            # Fail on typos at construction time; availability (warm-up) is
+            # still checked strictly at the first sweep.
+            kernels.get_backend(kernel_backend)
         self._network = network
+        self._kernel_backend = kernel_backend
         self.invalidate()
 
     # ------------------------------------------------------------------ #
@@ -330,7 +307,7 @@ class NetworkAnalysis:
         self._por_audits: dict[tuple, PorAudit] = {}
 
     def _computed(self, artifact: str, start: float) -> None:
-        """Report one actual artifact computation (telemetry + legacy hook).
+        """Report one actual artifact computation to the telemetry recorders.
 
         ``start`` is the ``time.perf_counter()`` reading taken just before the
         computation; its cost is negligible next to any artifact compute, so
@@ -343,8 +320,6 @@ class NetworkAnalysis:
             for rec in recs:
                 rec.counter(f"analysis.compute.{artifact}")
                 rec.observe_ms(f"analysis.compute_ms.{artifact}", duration_ms)
-        if _compute_hook is not None:
-            _compute_hook(artifact, self)
 
     def _cache_hit(self, artifact: str) -> None:
         for rec in _telemetry_active():
@@ -373,7 +348,9 @@ class NetworkAnalysis:
         """
         if self._matrix is None:
             start = time.perf_counter()
-            self._matrix = earliest_arrival_matrix(self._network)
+            self._matrix = earliest_arrival_matrix(
+                self._network, backend=self._kernel_backend
+            )
             self._computed("arrival_matrix", start)
         else:
             self._cache_hit("arrival_matrix")
@@ -503,7 +480,9 @@ class NetworkAnalysis:
         missing = [s for s in wanted if s not in self._source_rows]
         if missing:
             start = time.perf_counter()
-            rows = earliest_arrival_matrix(self._network, missing)
+            rows = earliest_arrival_matrix(
+                self._network, missing, backend=self._kernel_backend
+            )
             for index, source in enumerate(missing):
                 self._source_rows[source] = rows[index]
             self._computed("source_rows", start)
@@ -532,7 +511,9 @@ class NetworkAnalysis:
         row = self._source_rows.get(source)
         if row is None:
             start = time.perf_counter()
-            row = earliest_arrival_times(self._network, source)
+            row = earliest_arrival_times(
+                self._network, source, backend=self._kernel_backend
+            )
             self._source_rows[source] = row
             self._computed("source_rows", start)
         else:
@@ -553,7 +534,9 @@ class NetworkAnalysis:
         """
         if self._rev_matrix is None:
             start = time.perf_counter()
-            self._rev_matrix = latest_departure_matrix(self._network)
+            self._rev_matrix = latest_departure_matrix(
+                self._network, backend=self._kernel_backend
+            )
             self._computed("departure_matrix", start)
         else:
             self._cache_hit("departure_matrix")
@@ -579,7 +562,9 @@ class NetworkAnalysis:
         missing = [t for t in wanted if t not in self._target_cols]
         if missing:
             start = time.perf_counter()
-            rows = latest_departure_matrix(self._network, missing)
+            rows = latest_departure_matrix(
+                self._network, missing, backend=self._kernel_backend
+            )
             for index, target in enumerate(missing):
                 self._target_cols[target] = rows[index]
             self._computed("target_columns", start)
@@ -608,7 +593,9 @@ class NetworkAnalysis:
         row = self._target_cols.get(target)
         if row is None:
             start = time.perf_counter()
-            row = latest_departure_times(self._network, target)
+            row = latest_departure_times(
+                self._network, target, backend=self._kernel_backend
+            )
             self._target_cols[target] = row
             self._computed("target_columns", start)
         else:
@@ -852,7 +839,10 @@ class NetworkAnalysis:
         time — hence ``δ_k(s, t) = δ(s, t)`` whenever ``δ(s, t) ≤ k``, and
         the pair is unreachable in the restriction otherwise.
         """
-        child = NetworkAnalysis(self._network.restricted_to_max_label(max_label))
+        child = NetworkAnalysis(
+            self._network.restricted_to_max_label(max_label),
+            kernel_backend=self._kernel_backend,
+        )
         if self._matrix is not None:
             child._matrix = np.where(
                 self._matrix <= int(max_label), self._matrix, UNREACHABLE

@@ -29,6 +29,7 @@ def record_sweep(
     tile: int,
     groups: int,
     saturated: bool,
+    backend: str,
 ) -> None:
     """Record one finished label-group sweep on every active recorder.
 
@@ -36,7 +37,9 @@ def record_sweep(
     (the batch width — sources or targets in flight), ``<prefix>.groups_scanned``
     (label groups actually visited before completion or early exit),
     ``<prefix>.saturation_exits`` (only when the sweep terminated early via the
-    saturation check) and the ``<prefix>.sweep_ms`` wall-clock timing.
+    saturation check), ``<prefix>.backend.<backend>`` (which kernel backend ran
+    the sweep — see :mod:`repro.core.kernels`) and the ``<prefix>.sweep_ms``
+    wall-clock timing.
     """
     duration_ms = (time.perf_counter() - start) * 1e3
     for rec in recs:
@@ -45,4 +48,5 @@ def record_sweep(
         rec.counter(f"{prefix}.groups_scanned", groups)
         if saturated:
             rec.counter(f"{prefix}.saturation_exits")
+        rec.counter(f"{prefix}.backend.{backend}")
         rec.observe_ms(f"{prefix}.sweep_ms", duration_ms)

@@ -32,6 +32,14 @@ cannot change anything.  On the paper's normalized clique this cuts the sweep
 from ``a = n`` groups to about the temporal diameter ``Θ(log n)`` of them.
 A scalar pure-Python reference (:func:`earliest_arrival_times_reference`) is
 kept for cross-validation and the ablation benchmark.
+
+The hot loop itself is pluggable: both entry points accept a ``backend=``
+keyword naming a registered :mod:`repro.core.kernels` backend (``numpy`` —
+the vectorised reference, ``numba`` — JIT-compiled scalar loops, …) and
+delegate the group advance to it; with no keyword the registry's ambient
+selection applies (process default, ``REPRO_KERNEL_BACKEND``, then the best
+available backend).  All backends are pinned bit-identical, so the choice
+only affects speed.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from ..telemetry import active as _telemetry_active
 from ..types import UNREACHABLE, Journey, TimeEdge, as_vertex_array
 from ..utils.validation import check_non_negative_int
 from ._kernel_telemetry import record_sweep as _record_sweep
+from .kernels import resolve_backend as _resolve_backend
 from .temporal_graph import TemporalGraph
 
 __all__ = [
@@ -66,7 +75,11 @@ def _validate_source(graph_n: int, source: int) -> int:
 
 
 def earliest_arrival_times(
-    network: TemporalGraph, source: int, *, start_time: int = 0
+    network: TemporalGraph,
+    source: int,
+    *,
+    start_time: int = 0,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Earliest arrival time at every vertex for journeys departing ``source``.
 
@@ -80,6 +93,9 @@ def earliest_arrival_times(
         The message only becomes available at ``source`` at this time; only
         arcs with labels strictly greater than ``start_time`` can be used as
         the first hop.  The default 0 allows every label, matching the paper.
+    backend:
+        Name of the :mod:`repro.core.kernels` backend to run the sweep on;
+        ``None`` (the default) uses the ambient selection.
 
     Returns
     -------
@@ -90,42 +106,20 @@ def earliest_arrival_times(
     """
     source = _validate_source(network.n, source)
     start_time = check_non_negative_int(start_time, "start_time")
+    kernel = _resolve_backend(backend)
     recs = _telemetry_active()
     sweep_start = time.perf_counter() if recs else 0.0
     arrival = np.full(network.n, UNREACHABLE, dtype=np.int64)
     arrival[source] = start_time
-    if network.num_time_arcs == 0:
-        if recs:
-            _record_sweep(
-                recs,
-                "kernel.forward",
-                start=sweep_start,
-                tile_name="sources",
-                tile=1,
-                groups=0,
-                saturated=False,
-            )
-        return arrival
-
-    csr = network.timearc_csr
-    labels = csr.labels
-    offsets = csr.arc_offsets
-    tails = csr.tails
-    heads = csr.heads
-    first_group = int(np.searchsorted(labels, start_time, side="right"))
+    groups_scanned = 0
     saturated = False
-    for group in range(first_group, labels.size):
-        label = int(labels[group])
-        lo, hi = int(offsets[group]), int(offsets[group + 1])
-        usable = arrival[tails[lo:hi]] < label
-        if not usable.any():
-            continue
-        np.minimum.at(arrival, heads[lo:hi][usable], label)
-        if int(arrival.max()) <= label:
-            saturated = True
-            break
+    if network.num_time_arcs != 0:
+        csr = network.timearc_csr
+        first_group = int(np.searchsorted(csr.labels, start_time, side="right"))
+        groups_scanned, saturated = kernel.forward_sweep(
+            csr, arrival[:, None], first_group
+        )
     if recs:
-        groups_scanned = group - first_group + 1 if labels.size > first_group else 0
         _record_sweep(
             recs,
             "kernel.forward",
@@ -134,6 +128,7 @@ def earliest_arrival_times(
             tile=1,
             groups=groups_scanned,
             saturated=saturated,
+            backend=kernel.name,
         )
     return arrival
 
@@ -143,6 +138,7 @@ def earliest_arrival_matrix(
     sources: Sequence[int] | None = None,
     *,
     start_time: int = 0,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Batched earliest arrivals: one label-group sweep for many sources.
 
@@ -165,6 +161,9 @@ def earliest_arrival_matrix(
     start_time:
         The message becomes available at every source at this time; arcs
         labelled ``<= start_time`` cannot start a journey.  Default 0.
+    backend:
+        Name of the :mod:`repro.core.kernels` backend to run the sweep on;
+        ``None`` (the default) uses the ambient selection.
 
     Returns
     -------
@@ -187,70 +186,24 @@ def earliest_arrival_matrix(
     else:
         source_arr = as_vertex_array(sources, n)
     num_sources = source_arr.size
+    kernel = _resolve_backend(backend)
     recs = _telemetry_active()
     sweep_start = time.perf_counter() if recs else 0.0
     # Vertex-major state: row v holds the arrivals at v for every source, so
-    # the per-group gathers, segment reductions and scatters below all touch
+    # the per-group gathers, segment reductions and scatters all touch
     # contiguous rows (the arcs of a group are sorted by head).
     arrival = np.full((n, num_sources), UNREACHABLE, dtype=np.int64)
     arrival[source_arr, np.arange(num_sources)] = start_time
-    if network.num_time_arcs == 0 or num_sources == 0:
-        if recs:
-            _record_sweep(
-                recs,
-                "kernel.forward",
-                start=sweep_start,
-                tile_name="sources",
-                tile=num_sources,
-                groups=0,
-                saturated=False,
-            )
-        return np.ascontiguousarray(arrival.T)
-
-    csr = network.timearc_csr
-    labels = csr.labels
-    offsets = csr.arc_offsets
-    tails = csr.tails
-    head_values = csr.head_values
-    head_offsets = csr.head_offsets
-    head_starts = csr.head_starts
-    # Arrivals start at start_time and only ever take values equal to some
-    # label strictly greater than a tail's arrival, so groups labelled
-    # <= start_time can never be used; skip straight past them.
-    first_group = int(np.searchsorted(labels, start_time, side="right"))
+    groups_scanned = 0
     saturated = False
-    for group in range(first_group, labels.size):
-        label = int(labels[group])
-        lo, hi = int(offsets[group]), int(offsets[group + 1])
-        # Which sources can forward over each arc of this label group.
-        reachable = arrival[tails[lo:hi]] < label
-        if not reachable.any():
-            continue
-        hlo, hhi = int(head_offsets[group]), int(head_offsets[group + 1])
-        if hhi - hlo == hi - lo:
-            # Every arc in the group has a distinct head: nothing to reduce.
-            any_reachable = reachable
-        else:
-            # Segment-OR over each head's run of arcs, on packed bits: a
-            # bitwise reduceat over (arcs, sources/8) bytes is an order of
-            # magnitude cheaper than logical_or.reduceat on unpacked bools.
-            packed = np.packbits(reachable, axis=1)
-            segment_or = np.bitwise_or.reduceat(packed, head_starts[hlo:hhi], axis=0)
-            any_reachable = np.unpackbits(
-                segment_or, axis=1, count=num_sources
-            ).view(np.bool_)
-        group_heads = head_values[hlo:hhi]
-        current = arrival[group_heads]
-        improved = any_reachable & (current > label)
-        if improved.any():
-            arrival[group_heads] = np.where(improved, label, current)
-            # Saturation early-exit: once no entry exceeds the current label,
-            # no later (larger) label can improve anything.
-            if int(arrival.max()) <= label:
-                saturated = True
-                break
+    if network.num_time_arcs != 0 and num_sources != 0:
+        csr = network.timearc_csr
+        # Arrivals start at start_time and only ever take values equal to some
+        # label strictly greater than a tail's arrival, so groups labelled
+        # <= start_time can never be used; skip straight past them.
+        first_group = int(np.searchsorted(csr.labels, start_time, side="right"))
+        groups_scanned, saturated = kernel.forward_sweep(csr, arrival, first_group)
     if recs:
-        groups_scanned = group - first_group + 1 if labels.size > first_group else 0
         _record_sweep(
             recs,
             "kernel.forward",
@@ -259,6 +212,7 @@ def earliest_arrival_matrix(
             tile=num_sources,
             groups=groups_scanned,
             saturated=saturated,
+            backend=kernel.name,
         )
     return np.ascontiguousarray(arrival.T)
 
@@ -382,12 +336,19 @@ def foremost_journey(
 
 
 def temporal_distance(
-    network: TemporalGraph, source: int, target: int, *, start_time: int = 0
+    network: TemporalGraph,
+    source: int,
+    target: int,
+    *,
+    start_time: int = 0,
+    backend: str | None = None,
 ) -> int:
     """Temporal distance δ(source, target): the foremost journey's arrival time.
 
     Returns :data:`~repro.types.UNREACHABLE` when no journey exists (rather
     than raising), which keeps Monte-Carlo loops branch-free.
     """
-    arrival = earliest_arrival_times(network, source, start_time=start_time)
+    arrival = earliest_arrival_times(
+        network, source, start_time=start_time, backend=backend
+    )
     return int(arrival[_validate_source(network.n, target)])

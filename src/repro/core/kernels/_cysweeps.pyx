@@ -1,0 +1,100 @@
+# cython: boundscheck=False, wraparound=False, language_level=3
+"""Cython mirror of repro/core/kernels/_loops.py — build is OPTIONAL.
+
+The semantics are pinned by the same cross-validation suites as every other
+backend (tests/test_kernel_backends.py runs against whatever backends are
+available).  Build with::
+
+    pip install cython
+    cythonize -i src/repro/core/kernels/_cysweeps.pyx
+
+after which the ``cython`` backend reports itself available.  Keep this file
+in lockstep with ``_loops.py`` — it is the same two loops.
+"""
+
+import numpy as np
+
+cimport cython
+
+
+def forward_sweep_loop(
+    const long long[::1] labels,
+    const long long[::1] arc_offsets,
+    const long long[::1] tails,
+    const long long[::1] heads,
+    long long[:, ::1] state,
+    Py_ssize_t first_group,
+):
+    cdef Py_ssize_t num_groups = labels.shape[0]
+    cdef Py_ssize_t n = state.shape[0]
+    cdef Py_ssize_t width = state.shape[1]
+    cdef Py_ssize_t group, arc, column, vertex, tail, head
+    cdef long long label
+    cdef long long groups_scanned = 0
+    cdef bint improved, saturated = False, row_ok
+    for group in range(first_group, num_groups):
+        groups_scanned += 1
+        label = labels[group]
+        improved = False
+        for arc in range(arc_offsets[group], arc_offsets[group + 1]):
+            tail = tails[arc]
+            head = heads[arc]
+            for column in range(width):
+                if state[tail, column] < label and state[head, column] > label:
+                    state[head, column] = label
+                    improved = True
+        if improved:
+            saturated = True
+            for vertex in range(n):
+                row_ok = True
+                for column in range(width):
+                    if state[vertex, column] > label:
+                        row_ok = False
+                        break
+                if not row_ok:
+                    saturated = False
+                    break
+            if saturated:
+                break
+    return int(groups_scanned), bool(saturated)
+
+
+def reverse_sweep_loop(
+    const long long[::1] labels,
+    const long long[::1] arc_offsets,
+    const long long[::1] tails,
+    const long long[::1] heads,
+    long long[:, ::1] state,
+    Py_ssize_t last_group,
+):
+    cdef Py_ssize_t n = state.shape[0]
+    cdef Py_ssize_t width = state.shape[1]
+    cdef Py_ssize_t group, arc, column, vertex, tail, head
+    cdef long long label
+    cdef long long groups_scanned = 0
+    cdef bint improved, saturated = False, row_ok
+    for group in range(last_group - 1, -1, -1):
+        groups_scanned += 1
+        label = labels[group]
+        improved = False
+        for arc in range(arc_offsets[group], arc_offsets[group + 1]):
+            tail = tails[arc]
+            head = heads[arc]
+            for column in range(width):
+                if state[head, column] > label and state[tail, column] < label:
+                    state[tail, column] = label
+                    improved = True
+        if improved:
+            saturated = True
+            for vertex in range(n):
+                row_ok = True
+                for column in range(width):
+                    if state[vertex, column] < label:
+                        row_ok = False
+                        break
+                if not row_ok:
+                    saturated = False
+                    break
+            if saturated:
+                break
+    return int(groups_scanned), bool(saturated)

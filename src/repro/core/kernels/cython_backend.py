@@ -1,0 +1,66 @@
+"""Optional Cython sweep backend (ahead-of-time compiled extension).
+
+A stub behind the same :class:`~repro.core.kernels.SweepKernelBackend`
+interface: it delegates to the compiled extension
+``repro.core.kernels._cysweeps`` when that has been built from the shipped
+``_cysweeps.pyx`` (which mirrors :mod:`repro.core.kernels._loops` line for
+line), and reports itself unavailable otherwise — the registry's ambient
+selection then simply never picks it.  ``docs/kernels.md`` has the build
+recipe; no part of the repository requires the extension to exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CythonBackend"]
+
+
+class CythonBackend:
+    """AOT-compiled execution of the shared scalar sweep loops."""
+
+    name = "cython"
+    priority = 20
+
+    def __init__(self) -> None:
+        self._module = None
+
+    def _load(self):
+        if self._module is None:
+            from . import _cysweeps  # type: ignore[attr-defined]
+
+            self._module = _cysweeps
+        return self._module
+
+    def availability(self) -> str | None:
+        if self._module is not None:
+            return None
+        try:
+            self._load()
+        except ImportError:
+            return (
+                "the compiled extension repro.core.kernels._cysweeps is not "
+                "built (cythonize _cysweeps.pyx first — see docs/kernels.md)"
+            )
+        return None
+
+    def warm_up(self) -> None:
+        self._load()
+
+    def forward_sweep(self, csr, state: np.ndarray, first_group: int) -> tuple[int, bool]:
+        module = self._load()
+        groups, saturated = module.forward_sweep_loop(
+            csr.labels, csr.arc_offsets, csr.tails, csr.heads, state, first_group
+        )
+        return int(groups), bool(saturated)
+
+    def reverse_sweep(self, csr, state: np.ndarray, last_group: int) -> tuple[int, bool]:
+        module = self._load()
+        groups, saturated = module.reverse_sweep_loop(
+            csr.labels, csr.arc_offsets, csr.tails, csr.heads, state, last_group
+        )
+        return int(groups), bool(saturated)
+
+    def __repr__(self) -> str:
+        state = "loaded" if self._module is not None else "not built"
+        return f"CythonBackend({state})"

@@ -34,6 +34,11 @@ smaller value change nothing).  :func:`latest_departure_matrix` batches many
 targets through one sweep the same way :func:`earliest_arrival_matrix`
 batches sources.  A scalar pure-Python reference is kept for
 cross-validation.
+
+Like the forward module, the hot loop is pluggable: the sweep entry points
+accept a ``backend=`` keyword naming a registered :mod:`repro.core.kernels`
+backend and delegate the descending group advance to it; all backends are
+pinned bit-identical, so the choice only affects speed.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ from ..telemetry import active as _telemetry_active
 from ..types import NEVER, as_vertex_array
 from ..utils.validation import check_non_negative_int
 from ._kernel_telemetry import record_sweep as _record_sweep
+from .kernels import resolve_backend as _resolve_backend
 from .temporal_graph import TemporalGraph
 
 __all__ = [
@@ -74,7 +80,11 @@ def _resolve_deadline(network: TemporalGraph, deadline: int | None) -> int:
 
 
 def latest_departure_times(
-    network: TemporalGraph, target: int, *, deadline: int | None = None
+    network: TemporalGraph,
+    target: int,
+    *,
+    deadline: int | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Latest departure time at every vertex for journeys reaching ``target``.
 
@@ -88,6 +98,9 @@ def latest_departure_times(
         Journeys must arrive by this time; only arcs with labels at most
         ``deadline`` may be used.  Defaults to the network's lifetime (no
         restriction), the mirror of the forward kernels' ``start_time = 0``.
+    backend:
+        Name of the :mod:`repro.core.kernels` backend to run the sweep on;
+        ``None`` (the default) uses the ambient selection.
 
     Returns
     -------
@@ -99,42 +112,20 @@ def latest_departure_times(
     """
     target = _validate_vertex(network.n, target, "target")
     deadline = _resolve_deadline(network, deadline)
+    kernel = _resolve_backend(backend)
     recs = _telemetry_active()
     sweep_start = time.perf_counter() if recs else 0.0
     depart = np.full(network.n, NEVER, dtype=np.int64)
     depart[target] = deadline + 1
-    if network.num_time_arcs == 0:
-        if recs:
-            _record_sweep(
-                recs,
-                "kernel.reverse",
-                start=sweep_start,
-                tile_name="targets",
-                tile=1,
-                groups=0,
-                saturated=False,
-            )
-        return depart
-
-    csr = network.reverse_timearc_csr
-    labels = csr.labels
-    offsets = csr.arc_offsets
-    tails = csr.tails
-    heads = csr.heads
-    last_group = int(np.searchsorted(labels, deadline, side="right"))
+    groups_scanned = 0
     saturated = False
-    for group in range(last_group - 1, -1, -1):
-        label = int(labels[group])
-        lo, hi = int(offsets[group]), int(offsets[group + 1])
-        usable = depart[heads[lo:hi]] > label
-        if not usable.any():
-            continue
-        np.maximum.at(depart, tails[lo:hi][usable], label)
-        if int(depart.min()) >= label:
-            saturated = True
-            break
+    if network.num_time_arcs != 0:
+        csr = network.reverse_timearc_csr
+        last_group = int(np.searchsorted(csr.labels, deadline, side="right"))
+        groups_scanned, saturated = kernel.reverse_sweep(
+            csr, depart[:, None], last_group
+        )
     if recs:
-        groups_scanned = last_group - group if last_group > 0 else 0
         _record_sweep(
             recs,
             "kernel.reverse",
@@ -143,6 +134,7 @@ def latest_departure_times(
             tile=1,
             groups=groups_scanned,
             saturated=saturated,
+            backend=kernel.name,
         )
     return depart
 
@@ -152,6 +144,7 @@ def latest_departure_matrix(
     targets: Sequence[int] | None = None,
     *,
     deadline: int | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Batched latest departures: one label-group sweep for many targets.
 
@@ -172,6 +165,9 @@ def latest_departure_matrix(
         case).
     deadline:
         Arrive-by time shared by every target; defaults to the lifetime.
+    backend:
+        Name of the :mod:`repro.core.kernels` backend to run the sweep on;
+        ``None`` (the default) uses the ambient selection.
 
     Returns
     -------
@@ -192,69 +188,24 @@ def latest_departure_matrix(
     else:
         target_arr = as_vertex_array(targets, n)
     num_targets = target_arr.size
+    kernel = _resolve_backend(backend)
     recs = _telemetry_active()
     sweep_start = time.perf_counter() if recs else 0.0
     # Vertex-major state: row v holds the departures from v for every target,
-    # so the per-group gathers, segment reductions and scatters below all
-    # touch contiguous rows (the arcs of a group are sorted by tail).
+    # so the per-group gathers, segment reductions and scatters all touch
+    # contiguous rows (the arcs of a group are sorted by tail).
     depart = np.full((n, num_targets), NEVER, dtype=np.int64)
     depart[target_arr, np.arange(num_targets)] = deadline + 1
-    if network.num_time_arcs == 0 or num_targets == 0:
-        if recs:
-            _record_sweep(
-                recs,
-                "kernel.reverse",
-                start=sweep_start,
-                tile_name="targets",
-                tile=num_targets,
-                groups=0,
-                saturated=False,
-            )
-        return np.ascontiguousarray(depart.T)
-
-    csr = network.reverse_timearc_csr
-    labels = csr.labels
-    offsets = csr.arc_offsets
-    heads = csr.heads
-    tail_values = csr.tail_values
-    tail_offsets = csr.tail_offsets
-    tail_starts = csr.tail_starts
-    # Departures only ever take values strictly smaller than a head's current
-    # departure, so groups labelled > deadline can never be used; skip them.
-    last_group = int(np.searchsorted(labels, deadline, side="right"))
+    groups_scanned = 0
     saturated = False
-    for group in range(last_group - 1, -1, -1):
-        label = int(labels[group])
-        lo, hi = int(offsets[group]), int(offsets[group + 1])
-        # Which targets each arc of this group can forward towards.
-        reachable = depart[heads[lo:hi]] > label
-        if not reachable.any():
-            continue
-        tlo, thi = int(tail_offsets[group]), int(tail_offsets[group + 1])
-        if thi - tlo == hi - lo:
-            # Every arc in the group has a distinct tail: nothing to reduce.
-            any_reachable = reachable
-        else:
-            # Segment-OR over each tail's run of arcs, on packed bits — the
-            # same reduction trick as the forward engine, an order of
-            # magnitude cheaper than logical_or.reduceat on unpacked bools.
-            packed = np.packbits(reachable, axis=1)
-            segment_or = np.bitwise_or.reduceat(packed, tail_starts[tlo:thi], axis=0)
-            any_reachable = np.unpackbits(
-                segment_or, axis=1, count=num_targets
-            ).view(np.bool_)
-        group_tails = tail_values[tlo:thi]
-        current = depart[group_tails]
-        improved = any_reachable & (current < label)
-        if improved.any():
-            depart[group_tails] = np.where(improved, label, current)
-            # Saturation early-exit: once no entry is below the current
-            # label, no later (smaller) label can improve anything.
-            if int(depart.min()) >= label:
-                saturated = True
-                break
+    if network.num_time_arcs != 0 and num_targets != 0:
+        csr = network.reverse_timearc_csr
+        # Departures only ever take values strictly smaller than a head's
+        # current departure, so groups labelled > deadline can never be used;
+        # skip them.
+        last_group = int(np.searchsorted(csr.labels, deadline, side="right"))
+        groups_scanned, saturated = kernel.reverse_sweep(csr, depart, last_group)
     if recs:
-        groups_scanned = last_group - group if last_group > 0 else 0
         _record_sweep(
             recs,
             "kernel.reverse",
@@ -263,6 +214,7 @@ def latest_departure_matrix(
             tile=num_targets,
             groups=groups_scanned,
             saturated=saturated,
+            backend=kernel.name,
         )
     return np.ascontiguousarray(depart.T)
 
@@ -309,23 +261,30 @@ def latest_departure_times_reference(
 
 
 def latest_departure(
-    network: TemporalGraph, source: int, target: int, *, deadline: int | None = None
+    network: TemporalGraph,
+    source: int,
+    target: int,
+    *,
+    deadline: int | None = None,
+    backend: str | None = None,
 ) -> int:
     """Latest departure time of a journey ``source → target``.
 
     Returns :data:`~repro.types.NEVER` when no journey exists (rather than
     raising), mirroring :func:`repro.core.journeys.temporal_distance`.
     """
-    depart = latest_departure_times(network, target, deadline=deadline)
+    depart = latest_departure_times(network, target, deadline=deadline, backend=backend)
     return int(depart[_validate_vertex(network.n, source, "source")])
 
 
-def reverse_reachable_set(network: TemporalGraph, target: int) -> np.ndarray:
+def reverse_reachable_set(
+    network: TemporalGraph, target: int, *, backend: str | None = None
+) -> np.ndarray:
     """Vertices with a journey *to* ``target`` (including the target itself).
 
     The reverse mirror of :func:`repro.core.reachability.reachable_set`, and
     the per-vertex "who can influence ``target``" query; costs one reverse
     sweep instead of an all-pairs forward pass.
     """
-    depart = latest_departure_times(network, target)
+    depart = latest_departure_times(network, target, backend=backend)
     return np.flatnonzero(depart > NEVER)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from .. import telemetry
+from ..core import kernels
 from ..exceptions import ConfigurationError
 from ..utils.logging import get_logger
 from ..utils.seeding import SeedLike
@@ -145,6 +146,10 @@ def run_sharded(
         # Snapshot of "is anyone recording" travels with the task so spawned
         # workers (which inherit no globals) still record their shards.
         telemetry=bool(recs),
+        # Same for the effective kernel backend: resolved once here so every
+        # worker — serial, forked or spawned — sweeps on the backend the
+        # parent process would use.
+        kernel_backend=kernels.default_backend(),
     )
 
     completed: dict[int, ShardResult] = {}

@@ -30,6 +30,7 @@ import time
 import numpy as np
 
 from .. import telemetry
+from ..core import kernels
 from ..exceptions import ConfigurationError
 from ..utils.validation import check_positive_int
 from .accumulators import DEFAULT_RESERVOIR_CAPACITY, AccumulatorSet
@@ -67,6 +68,13 @@ class ShardTask:
     #: parent's recorders) rather than an inherited global, so it survives
     #: spawn-start-method workers, which re-import the world from scratch.
     telemetry: bool = False
+    #: Kernel backend the shard's sweeps should run on (the driver snapshots
+    #: the parent's effective default).  Shipped explicitly for the same
+    #: reason as ``telemetry``: spawn-start-method workers inherit neither
+    #: ``set_default_backend`` state nor (scrubbed) environment variables.
+    #: Applied non-strictly in the worker — a worker that cannot use the
+    #: named backend warns and falls back rather than killing the run.
+    kernel_backend: str | None = None
 
 
 @dataclass(frozen=True)
@@ -163,12 +171,18 @@ def execute_shard(work: ShardWork) -> ShardResult:
     whose state ships home in :attr:`ShardResult.telemetry_state`.  One code
     path for both execution modes is what makes a ``jobs=N`` run's merged
     counters bit-identical to a serial run's.
+
+    The task's ``kernel_backend`` is installed as the worker's process
+    default for the duration of the shard (non-strict: unusable → warn and
+    fall back), so every sweep inside the trials runs on the backend the
+    parent selected — again identically across execution modes.
     """
-    if not work.task.telemetry:
-        return _execute_shard_inner(work, None)
-    recorder = telemetry.TelemetryRecorder()
-    with telemetry.isolated(recorder):
-        return _execute_shard_inner(work, recorder)
+    with kernels.backend_scope(work.task.kernel_backend, strict=False):
+        if not work.task.telemetry:
+            return _execute_shard_inner(work, None)
+        recorder = telemetry.TelemetryRecorder()
+        with telemetry.isolated(recorder):
+            return _execute_shard_inner(work, recorder)
 
 
 def _execute_shard_inner(

@@ -38,6 +38,7 @@ from contextlib import nullcontext
 from typing import Any, Callable, ContextManager, Sequence
 
 from .. import telemetry
+from ..core import kernels
 from ..exceptions import ConfigurationError
 from ..io.tables import format_table
 from ..scenarios import get_scenario, iter_scenarios, run_scenario
@@ -131,6 +132,35 @@ def _add_telemetry_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel-backend",
+        default=None,
+        metavar="NAME",
+        dest="kernel_backend",
+        help=(
+            "run every sweep on this kernel backend (see repro.core.kernels: "
+            "'numpy', 'numba', ...; default: automatic selection).  An "
+            "unusable explicit backend is an error, not a silent fallback"
+        ),
+    )
+
+
+def _kernel_backend_scope(args: argparse.Namespace) -> ContextManager[Any]:
+    """Install the ``--kernel-backend`` choice as the process default.
+
+    Strict: the CLI names the backend explicitly, so a missing or broken one
+    raises :class:`~repro.exceptions.ConfigurationError` (exit code 2) rather
+    than silently computing on another backend.  The default is also shipped
+    to engine workers through the shard task, so ``--jobs N`` runs sweep on
+    the same backend.
+    """
+    name = getattr(args, "kernel_backend", None)
+    if name is None:
+        return nullcontext(None)
+    return kernels.backend_scope(name, strict=True)
+
+
 def _accepts_jobs(run: Callable[..., ExperimentReport]) -> bool:
     """Whether an experiment's run function takes the ``jobs`` keyword."""
     try:
@@ -209,6 +239,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the per-experiment console output"
     )
     _add_telemetry_option(parser)
+    _add_kernel_backend_option(parser)
     return parser
 
 
@@ -251,6 +282,7 @@ def _build_scenario_parser() -> argparse.ArgumentParser:
             "--quiet", action="store_true", help="suppress the results table"
         )
         _add_telemetry_option(p)
+        _add_kernel_backend_option(p)
 
     run_parser = sub.add_parser(
         "run", help="run one scenario through the generic pipeline"
@@ -325,7 +357,9 @@ def _scenario_run(args: argparse.Namespace, overrides: dict[str, list[Any]]) -> 
     scenario = get_scenario(args.name)
     if overrides:
         scenario = scenario.with_axes(overrides, scale=args.scale)
-    with _telemetry_session(getattr(args, "telemetry", None)):
+    with _kernel_backend_scope(args), _telemetry_session(
+        getattr(args, "telemetry", None)
+    ):
         result = run_scenario(
             scenario, scale=args.scale, seed=args.seed, jobs=args.jobs
         )
@@ -388,10 +422,11 @@ def _profile_main(argv: Sequence[str]) -> int:
         "--jsonl", default=None, metavar="PATH",
         help="also append the raw telemetry records to this JSONL file",
     )
+    _add_kernel_backend_option(parser)
     args = parser.parse_args(argv)
     scenario = get_scenario(args.name)
     sinks = [telemetry.JsonlSink(args.jsonl)] if args.jsonl else []
-    with telemetry.session(*sinks) as recorder:
+    with _kernel_backend_scope(args), telemetry.session(*sinks) as recorder:
         run_scenario(scenario, scale=args.scale, seed=args.seed, jobs=args.jobs)
     print(
         telemetry.format_layer_report(
@@ -420,7 +455,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
-        with _telemetry_session(args.telemetry):
+        with _kernel_backend_scope(args), _telemetry_session(args.telemetry):
             reports = run_experiments(
                 args.ids, scale=args.scale, seed=args.seed, jobs=args.jobs
             )

@@ -171,27 +171,8 @@ class TestMemoization:
         assert analysis.diameter == before
         assert counting_hook["arrival_matrix"] == 2
 
-    def test_set_compute_hook_returns_previous_and_warns(self):
-        first = lambda artifact, analysis: None  # noqa: E731
-        with pytest.deprecated_call():
-            assert analysis_api.set_compute_hook(first) is None
-        with pytest.deprecated_call():
-            assert analysis_api.set_compute_hook(None) is first
-
-    def test_deprecated_hook_still_fires_on_computes(self, clique_network):
-        events: list[str] = []
-        with pytest.deprecated_call():
-            previous = analysis_api.set_compute_hook(
-                lambda artifact, analysis: events.append(artifact)
-            )
-        try:
-            analysis = NetworkAnalysis(clique_network)
-            analysis.arrival_matrix()
-            analysis.arrival_matrix()  # cache hit: no event
-        finally:
-            with pytest.deprecated_call():
-                analysis_api.set_compute_hook(previous)
-        assert events == ["arrival_matrix"]
+    def test_set_compute_hook_shim_is_gone(self):
+        assert not hasattr(analysis_api, "set_compute_hook")
 
     def test_compute_events_reports_hits(self, clique_network):
         analysis = NetworkAnalysis(clique_network)

@@ -5,6 +5,11 @@ kernels: they enumerate journeys straight from the definition by DFS over the
 raw time-arc list.  On every ``n <= 8`` instance in the pool, the forward
 kernel, the reverse kernels (single-target, batched and pure-Python
 reference) and the centrality family must all agree with them exactly.
+
+``TestEveryBackendAgainstOracle`` additionally pins **every registered
+kernel backend** (:mod:`repro.core.kernels`) bit-identical to the oracles on
+the same pool; backends that cannot run here (numba not installed, cython
+extension not built) skip cleanly with the registry's reason string.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro import (
     star_graph,
     uniform_random_labels,
 )
+from repro.core import kernels
 from repro.core.reverse_journeys import (
     latest_departure_matrix,
     latest_departure_times,
@@ -67,6 +73,25 @@ _POOL = _instance_pool()
 @pytest.fixture(params=sorted(_POOL), ids=sorted(_POOL))
 def network(request):
     return _POOL[request.param]
+
+
+def backend_params():
+    """One pytest param per registered kernel backend; unusable ones skip."""
+    params = []
+    for name in kernels.backend_names():
+        reason = kernels.backend_unavailable_reason(name)
+        marks = (
+            [pytest.mark.skip(reason=f"backend {name!r}: {reason}")]
+            if reason is not None
+            else []
+        )
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
+
+
+@pytest.fixture(params=backend_params())
+def kernel_backend(request):
+    return request.param
 
 
 class TestForwardKernelAgainstOracle:
@@ -116,6 +141,45 @@ class TestReverseKernelAgainstOracle:
         for target in range(network.n):
             np.testing.assert_array_equal(
                 latest_departure_times(network, target, deadline=deadline),
+                oracle_latest_departure_times(network, target, deadline=deadline),
+            )
+
+
+class TestEveryBackendAgainstOracle:
+    """Every registered backend must be bit-identical to the oracles.
+
+    These run the same instances as the reference-kernel classes above, but
+    force each sweep through one named backend — the cross-backend half of
+    the oracle harness.  (Large-n cross-backend parity lives in
+    ``tests/test_kernel_backends.py``; this pool is exhaustive per source and
+    target.)
+    """
+
+    def test_forward(self, network, kernel_backend):
+        np.testing.assert_array_equal(
+            earliest_arrival_matrix(network, backend=kernel_backend),
+            oracle_arrival_matrix(network),
+        )
+        start = max(1, network.lifetime // 3)
+        for source in range(network.n):
+            np.testing.assert_array_equal(
+                earliest_arrival_times(
+                    network, source, start_time=start, backend=kernel_backend
+                ),
+                oracle_earliest_arrival_times(network, source, start_time=start),
+            )
+
+    def test_reverse(self, network, kernel_backend):
+        np.testing.assert_array_equal(
+            latest_departure_matrix(network, backend=kernel_backend),
+            oracle_departure_matrix(network),
+        )
+        deadline = max(1, network.lifetime // 2)
+        for target in range(network.n):
+            np.testing.assert_array_equal(
+                latest_departure_times(
+                    network, target, deadline=deadline, backend=kernel_backend
+                ),
                 oracle_latest_departure_times(network, target, deadline=deadline),
             )
 

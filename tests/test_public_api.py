@@ -64,6 +64,17 @@ class TestApiDocDrift:
                 f"analysis_api export {name} must also be re-exported at top level"
             )
 
+    def test_kernels_all_matches_documented_surface(self):
+        import repro.core.kernels
+
+        documented = _documented_names("Kernel backends")
+        actual = set(repro.core.kernels.__all__)
+        assert documented == actual, (
+            f"docs/api.md and repro.core.kernels.__all__ drifted apart; "
+            f"undocumented: {sorted(actual - documented)}; "
+            f"stale in docs: {sorted(documented - actual)}"
+        )
+
 
 def test_quickstart_snippet_from_docstring():
     clique = repro.complete_graph(32, directed=True)
