@@ -86,6 +86,10 @@ from .core import (
     temporal_reach_counts,
     tree_broadcast_assignment,
     uniform_random_labels,
+    BlockedSweepResult,
+    blocked_sweep_summary,
+    streamed_distance_summary,
+    streamed_reachable_fraction,
 )
 from . import telemetry
 from .core import kernels
@@ -177,6 +181,11 @@ __all__ = [
     "temporal_harmonic_closeness",
     "temporal_influence_counts",
     "temporal_reach_counts",
+    # out-of-core blocked sweeps (O(n·tile) memory, bit-identical to dense)
+    "BlockedSweepResult",
+    "blocked_sweep_summary",
+    "streamed_distance_summary",
+    "streamed_reachable_fraction",
     "ExpansionParameters",
     "ExpansionResult",
     "expansion_process",

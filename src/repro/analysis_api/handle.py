@@ -111,6 +111,7 @@ ARTIFACTS = (
     "eccentricities",
     "reachability",
     "summary",
+    "streamed_summary",
     "static_reachability",
     "source_rows",
     "departure_matrix",
@@ -265,6 +266,7 @@ class NetworkAnalysis:
         "_ecc",
         "_reach",
         "_summary",
+        "_streamed",
         "_preserves",
         "_source_rows",
         "_rev_matrix",
@@ -298,6 +300,7 @@ class NetworkAnalysis:
         self._ecc: np.ndarray | None = None
         self._reach: np.ndarray | None = None
         self._summary: DistanceSummary | None = None
+        self._streamed: dict[tuple, DistanceSummary] = {}
         self._preserves: bool | None = None
         self._source_rows: dict[int, np.ndarray] = {}
         self._rev_matrix: np.ndarray | None = None
@@ -420,6 +423,58 @@ class NetworkAnalysis:
             )
         self._computed("summary", start)
         return self._summary
+
+    def streamed_distance_summary(
+        self, *, tile_size: int | None = None, direction: str = "forward"
+    ) -> DistanceSummary:
+        """:attr:`summary` in ``O(n · tile_size)`` memory, bit-identical.
+
+        Runs the out-of-core blocked sweep engine
+        (:mod:`repro.core.blocked_sweeps`): the sweep is tiled over blocks of
+        ``tile_size`` sources (``direction="forward"``) or targets
+        (``"reverse"``), each tile runs through the handle's pinned kernel
+        backend, and the tile's contribution is streamed into exact mergeable
+        accumulators — the dense ``(n, n)`` matrix is never materialized and
+        the handle's artifact cache is left untouched.  The result is cached
+        per ``(direction, tile_size)``.
+
+        ``tile_size=None`` uses the ambient default
+        (:func:`repro.core.blocked_sweeps.default_tile_size`, the CLI's
+        ``--tile-size`` flag), else
+        :data:`~repro.core.blocked_sweeps.DEFAULT_TILE_SIZE`.
+        """
+        from ..core.blocked_sweeps import blocked_sweep_summary
+
+        key = (
+            str(direction),
+            None if tile_size is None else int(tile_size),
+        )
+        cached = self._streamed.get(key)
+        if cached is not None:
+            self._cache_hit("streamed_summary")
+            return cached
+        start = time.perf_counter()
+        result = blocked_sweep_summary(
+            self._network,
+            tile_size=tile_size,
+            direction=direction,
+            backend=self._kernel_backend,
+        )
+        self._streamed[key] = result.summary
+        self._computed("streamed_summary", start)
+        return result.summary
+
+    def streamed_reachable_fraction(
+        self, *, tile_size: int | None = None, direction: str = "forward"
+    ) -> float:
+        """:attr:`reachable_fraction` in ``O(n · tile_size)`` memory.
+
+        Bit-identical to the dense value; see
+        :meth:`streamed_distance_summary` for the tiling model.
+        """
+        return self.streamed_distance_summary(
+            tile_size=tile_size, direction=direction
+        ).reachable_fraction
 
     # ------------------------------------------------------------------ #
     # derived scalar views

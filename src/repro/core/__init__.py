@@ -71,6 +71,20 @@ from .distances import (
     temporal_eccentricities,
     temporal_radius,
 )
+from .blocked_sweeps import (
+    DEFAULT_TILE_SIZE,
+    BlockedSummaryAccumulator,
+    BlockedSweepResult,
+    ExactDistanceMoments,
+    blocked_sweep_summary,
+    default_tile_size,
+    resolve_tile_size,
+    set_default_tile_size,
+    streamed_distance_summary,
+    streamed_reachable_fraction,
+    summary_of_distance_matrix,
+    tile_size_scope,
+)
 from .reachability import (
     is_temporally_connected,
     preserves_reachability,
@@ -138,6 +152,18 @@ __all__ = [
     "temporal_eccentricities",
     "temporal_radius",
     "average_temporal_distance",
+    "DEFAULT_TILE_SIZE",
+    "BlockedSummaryAccumulator",
+    "BlockedSweepResult",
+    "ExactDistanceMoments",
+    "blocked_sweep_summary",
+    "default_tile_size",
+    "resolve_tile_size",
+    "set_default_tile_size",
+    "streamed_distance_summary",
+    "streamed_reachable_fraction",
+    "summary_of_distance_matrix",
+    "tile_size_scope",
     "reachability_matrix",
     "reachable_set",
     "reachable_fraction",

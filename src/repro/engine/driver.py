@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from .. import telemetry
-from ..core import kernels
+from ..core import blocked_sweeps, kernels
 from ..exceptions import ConfigurationError
 from ..utils.logging import get_logger
 from ..utils.seeding import SeedLike
@@ -150,6 +150,9 @@ def run_sharded(
         # worker — serial, forked or spawned — sweeps on the backend the
         # parent process would use.
         kernel_backend=kernels.default_backend(),
+        # And the ambient blocked-sweep tile size (--tile-size): tiles run
+        # within shards, so out-of-core streaming composes with --jobs.
+        tile_size=blocked_sweeps.default_tile_size(),
     )
 
     completed: dict[int, ShardResult] = {}

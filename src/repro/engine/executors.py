@@ -30,7 +30,7 @@ import time
 import numpy as np
 
 from .. import telemetry
-from ..core import kernels
+from ..core import blocked_sweeps, kernels
 from ..exceptions import ConfigurationError
 from ..utils.validation import check_positive_int
 from .accumulators import DEFAULT_RESERVOIR_CAPACITY, AccumulatorSet
@@ -75,6 +75,11 @@ class ShardTask:
     #: Applied non-strictly in the worker — a worker that cannot use the
     #: named backend warns and falls back rather than killing the run.
     kernel_backend: str | None = None
+    #: Ambient blocked-sweep tile size (the driver snapshots the parent's
+    #: ``blocked_sweeps.default_tile_size()``), shipped explicitly for the
+    #: same spawn-start-method reason.  ``None`` means no ambient default —
+    #: metrics stay on their dense path unless asked for blocked mode.
+    tile_size: int | None = None
 
 
 @dataclass(frozen=True)
@@ -175,9 +180,13 @@ def execute_shard(work: ShardWork) -> ShardResult:
     The task's ``kernel_backend`` is installed as the worker's process
     default for the duration of the shard (non-strict: unusable → warn and
     fall back), so every sweep inside the trials runs on the backend the
-    parent selected — again identically across execution modes.
+    parent selected — again identically across execution modes.  The task's
+    ``tile_size`` is installed the same way, so a ``--tile-size`` run streams
+    its distance summaries through the blocked engine inside every worker —
+    tiles within shards, composing with ``--jobs``.
     """
-    with kernels.backend_scope(work.task.kernel_backend, strict=False):
+    with kernels.backend_scope(work.task.kernel_backend, strict=False), \
+            blocked_sweeps.tile_size_scope(work.task.tile_size):
         if not work.task.telemetry:
             return _execute_shard_inner(work, None)
         recorder = telemetry.TelemetryRecorder()

@@ -38,7 +38,7 @@ from contextlib import nullcontext
 from typing import Any, Callable, ContextManager, Sequence
 
 from .. import telemetry
-from ..core import kernels
+from ..core import blocked_sweeps, kernels
 from ..exceptions import ConfigurationError
 from ..io.tables import format_table
 from ..scenarios import get_scenario, iter_scenarios, run_scenario
@@ -146,6 +146,37 @@ def _add_kernel_backend_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tile_size_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tile-size",
+        default=None,
+        type=int,
+        metavar="ROWS",
+        dest="tile_size",
+        help=(
+            "stream distance summaries through the out-of-core blocked sweep "
+            "engine, ROWS sources per tile (O(n*ROWS) memory instead of "
+            "O(n^2), bit-identical results; default: dense sweeps).  "
+            "Composes with --jobs: tiles run within shards"
+        ),
+    )
+
+
+def _tile_size_scope(args: argparse.Namespace) -> ContextManager[Any]:
+    """Install the ``--tile-size`` choice as the process-wide tile size.
+
+    An installed tile size flips the ``distance_summary`` metric onto the
+    blocked (out-of-core) path; results are bit-identical, only the memory
+    profile changes.  Like the kernel backend, the value is also shipped to
+    engine workers through the shard task, so ``--jobs N`` runs stream
+    inside every worker.
+    """
+    size = getattr(args, "tile_size", None)
+    if size is None:
+        return nullcontext(None)
+    return blocked_sweeps.tile_size_scope(size)
+
+
 def _kernel_backend_scope(args: argparse.Namespace) -> ContextManager[Any]:
     """Install the ``--kernel-backend`` choice as the process default.
 
@@ -240,6 +271,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_option(parser)
     _add_kernel_backend_option(parser)
+    _add_tile_size_option(parser)
     return parser
 
 
@@ -283,6 +315,7 @@ def _build_scenario_parser() -> argparse.ArgumentParser:
         )
         _add_telemetry_option(p)
         _add_kernel_backend_option(p)
+        _add_tile_size_option(p)
 
     run_parser = sub.add_parser(
         "run", help="run one scenario through the generic pipeline"
@@ -357,7 +390,7 @@ def _scenario_run(args: argparse.Namespace, overrides: dict[str, list[Any]]) -> 
     scenario = get_scenario(args.name)
     if overrides:
         scenario = scenario.with_axes(overrides, scale=args.scale)
-    with _kernel_backend_scope(args), _telemetry_session(
+    with _kernel_backend_scope(args), _tile_size_scope(args), _telemetry_session(
         getattr(args, "telemetry", None)
     ):
         result = run_scenario(
@@ -423,10 +456,12 @@ def _profile_main(argv: Sequence[str]) -> int:
         help="also append the raw telemetry records to this JSONL file",
     )
     _add_kernel_backend_option(parser)
+    _add_tile_size_option(parser)
     args = parser.parse_args(argv)
     scenario = get_scenario(args.name)
     sinks = [telemetry.JsonlSink(args.jsonl)] if args.jsonl else []
-    with _kernel_backend_scope(args), telemetry.session(*sinks) as recorder:
+    with _kernel_backend_scope(args), _tile_size_scope(args), \
+            telemetry.session(*sinks) as recorder:
         run_scenario(scenario, scale=args.scale, seed=args.seed, jobs=args.jobs)
     print(
         telemetry.format_layer_report(
@@ -455,7 +490,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
-        with _kernel_backend_scope(args), _telemetry_session(args.telemetry):
+        with _kernel_backend_scope(args), _tile_size_scope(args), \
+                _telemetry_session(args.telemetry):
             reports = run_experiments(
                 args.ids, scale=args.scale, seed=args.seed, jobs=args.jobs
             )

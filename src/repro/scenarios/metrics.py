@@ -140,8 +140,33 @@ def _metric_distance_summary(
     temporal diameter and the mean distance over reachable pairs); all come
     from the trial's shared :class:`~repro.analysis_api.NetworkAnalysis`
     handle, i.e. from one memoized batched sweep.
+
+    ``options["mode"]`` picks the compute path: ``"dense"`` (the memoized
+    full-matrix sweep), ``"blocked"`` (the out-of-core tiled engine of
+    :mod:`repro.core.blocked_sweeps`, ``O(n · tile_size)`` memory), or the
+    default ``"auto"`` — dense unless an ambient tile size is installed (the
+    CLI's ``--tile-size`` flag), in which case blocked.  The two paths are
+    bit-identical, so the mode only changes the memory profile.
+    ``options["tile_size"]`` overrides the tile width in blocked mode.
     """
-    summary = ctx.require_analysis("distance_summary").summary
+    from ..core import blocked_sweeps
+
+    mode = options.get("mode", "auto")
+    if mode not in ("auto", "dense", "blocked"):
+        raise ConfigurationError(
+            f"distance_summary mode must be 'auto', 'dense' or 'blocked', "
+            f"got {mode!r}"
+        )
+    tile_size = options.get("tile_size")
+    if mode == "blocked" or (
+        mode == "auto"
+        and (tile_size is not None or blocked_sweeps.default_tile_size() is not None)
+    ):
+        summary = ctx.require_analysis("distance_summary").streamed_distance_summary(
+            tile_size=None if tile_size is None else int(tile_size)
+        )
+    else:
+        summary = ctx.require_analysis("distance_summary").summary
     fields = options.get("fields", ["temporal_diameter", "mean_temporal_distance"])
     out: dict[str, float] = {}
     for name in fields:

@@ -110,6 +110,106 @@ def oracle_departure_matrix(network: TemporalGraph) -> np.ndarray:
     )
 
 
+def oracle_distance_summary(network: TemporalGraph) -> dict[str, object]:
+    """The all-pairs distance summary recomputed from the oracle arrivals.
+
+    Pure-Python reduction sharing nothing with the production paths — neither
+    the dense ``numpy`` reductions of :class:`repro.analysis_api
+    .NetworkAnalysis` nor the blocked accumulators of
+    :mod:`repro.core.blocked_sweeps` — so it pins both.  The mean is the
+    correctly-rounded float of the exact integer ratio, which both production
+    paths reproduce bit for bit at oracle scales.
+
+    Returns plain fields (not a ``DistanceSummary``) plus the per-column
+    ``reach_counts`` vector the blocked engine also streams.
+    """
+    n = network.n
+    if n <= 1:
+        return {
+            "diameter": 0,
+            "radius": 0,
+            "average_distance": 0.0,
+            "reachable_fraction": 1.0,
+            "reach_counts": np.zeros(n, dtype=np.int64),
+        }
+    matrix = oracle_arrival_matrix(network)
+    eccentricities = [max(int(matrix[s, v]) for v in range(n)) for s in range(n)]
+    distances = [
+        int(matrix[s, t])
+        for s in range(n)
+        for t in range(n)
+        if s != t and matrix[s, t] < UNREACHABLE
+    ]
+    reach_counts = np.array(
+        [
+            sum(1 for s in range(n) if s != v and matrix[s, v] < UNREACHABLE)
+            for v in range(n)
+        ],
+        dtype=np.int64,
+    )
+    return {
+        "diameter": max(eccentricities),
+        "radius": min(eccentricities),
+        "average_distance": (
+            sum(distances) / len(distances) if distances else float("nan")
+        ),
+        "reachable_fraction": len(distances) / (n * (n - 1)),
+        "reach_counts": reach_counts,
+    }
+
+
+def oracle_reverse_distance_summary(network: TemporalGraph) -> dict[str, object]:
+    """The reverse-direction distance summary from the oracle departures.
+
+    Uses the production convention for reverse distances: a latest departure
+    ``d`` towards the target means a temporal distance of
+    ``(lifetime + 1) - d``; ``NEVER`` means unreachable.  The per-row
+    statistics are per *target* (one oracle enumeration each), matching the
+    blocked engine's ``direction="reverse"`` tiling.
+    """
+    n = network.n
+    if n <= 1:
+        return {
+            "diameter": 0,
+            "radius": 0,
+            "average_distance": 0.0,
+            "reachable_fraction": 1.0,
+            "reach_counts": np.zeros(n, dtype=np.int64),
+        }
+    horizon = network.lifetime + 1
+    departures = oracle_departure_matrix(network)
+    distances_to = [
+        [
+            UNREACHABLE if departures[t, s] == NEVER else horizon - int(departures[t, s])
+            for s in range(n)
+        ]
+        for t in range(n)
+    ]
+    eccentricities = [max(row) for row in distances_to]
+    reachable = [
+        distances_to[t][s]
+        for t in range(n)
+        for s in range(n)
+        if s != t and distances_to[t][s] < UNREACHABLE
+    ]
+    reach_counts = np.array(
+        [
+            sum(1 for t in range(n) if t != s and distances_to[t][s] < UNREACHABLE)
+            for s in range(n)
+        ],
+        dtype=np.int64,
+    )
+    return {
+        "diameter": max(eccentricities),
+        "radius": min(eccentricities),
+        "average_distance": (
+            sum(reachable) / len(reachable) if reachable else float("nan")
+        ),
+        "reachable_fraction": len(reachable) / (n * (n - 1)),
+        "reach_counts": reach_counts,
+    }
+
+
 def oracle_centrality(network: TemporalGraph) -> dict[str, np.ndarray]:
     """The temporal-centrality family recomputed from the oracle arrivals."""
     n = network.n

@@ -39,8 +39,10 @@ from oracles import (
     oracle_arrival_matrix,
     oracle_centrality,
     oracle_departure_matrix,
+    oracle_distance_summary,
     oracle_earliest_arrival_times,
     oracle_latest_departure_times,
+    oracle_reverse_distance_summary,
 )
 
 
@@ -182,6 +184,76 @@ class TestEveryBackendAgainstOracle:
                 ),
                 oracle_latest_departure_times(network, target, deadline=deadline),
             )
+
+
+class TestStreamedSummaryAgainstOracle:
+    """The blocked (out-of-core) accumulator path against the oracle pool.
+
+    The other classes pin the full-matrix kernels; this one pins the tiled
+    *reduction* — :func:`repro.core.blocked_sweeps.blocked_sweep_summary`
+    streams tile partials into exact integer accumulators, and every field
+    (including the correctly-rounded mean) must equal the oracle's pure-Python
+    reduction exactly.  Tile width 3 forces partial tiles on every pool
+    instance; ``n`` collapses to a single tile.
+    """
+
+    @pytest.mark.parametrize("tile_size", [3, None], ids=["tile3", "tileN"])
+    def test_forward(self, network, tile_size):
+        from repro.core.blocked_sweeps import blocked_sweep_summary
+
+        expected = oracle_distance_summary(network)
+        result = blocked_sweep_summary(
+            network,
+            tile_size=network.n if tile_size is None else tile_size,
+        )
+        assert result.summary.diameter == expected["diameter"]
+        assert result.summary.radius == expected["radius"]
+        _assert_same_float(
+            result.summary.average_distance, expected["average_distance"]
+        )
+        assert result.summary.reachable_fraction == expected["reachable_fraction"]
+        np.testing.assert_array_equal(
+            result.reach_counts, expected["reach_counts"]
+        )
+
+    @pytest.mark.parametrize("tile_size", [3, None], ids=["tile3", "tileN"])
+    def test_reverse(self, network, tile_size):
+        from repro.core.blocked_sweeps import blocked_sweep_summary
+
+        expected = oracle_reverse_distance_summary(network)
+        result = blocked_sweep_summary(
+            network,
+            tile_size=network.n if tile_size is None else tile_size,
+            direction="reverse",
+        )
+        assert result.summary.diameter == expected["diameter"]
+        assert result.summary.radius == expected["radius"]
+        _assert_same_float(
+            result.summary.average_distance, expected["average_distance"]
+        )
+        assert result.summary.reachable_fraction == expected["reachable_fraction"]
+        np.testing.assert_array_equal(
+            result.reach_counts, expected["reach_counts"]
+        )
+
+    def test_every_backend(self, network, kernel_backend):
+        from repro.core.blocked_sweeps import blocked_sweep_summary
+
+        expected = oracle_distance_summary(network)
+        result = blocked_sweep_summary(network, tile_size=2, backend=kernel_backend)
+        assert result.summary.diameter == expected["diameter"]
+        _assert_same_float(
+            result.summary.average_distance, expected["average_distance"]
+        )
+        assert result.summary.reachable_fraction == expected["reachable_fraction"]
+
+
+def _assert_same_float(actual: float, expected: float) -> None:
+    """Exact float equality, with ``nan == nan`` (the unreachable sentinel)."""
+    if np.isnan(expected):
+        assert np.isnan(actual)
+    else:
+        assert actual == expected
 
 
 class TestCentralityAgainstOracle:
