@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Mapping
 from .. import telemetry
 from ..core import blocked_sweeps, kernels
 from ..exceptions import ConfigurationError
+from ..utils.fingerprint import checkpoint_fingerprint
 from ..utils.logging import get_logger
 from ..utils.seeding import SeedLike
 from ..utils.timing import Timer
@@ -49,15 +50,6 @@ _LOGGER = get_logger("engine.driver")
 #: repetitions_done)``, called after every shard completion (and once up
 #: front when a resume skips already-completed shards).
 ProgressCallback = Callable[[int, int, int], None]
-
-
-def _parameters_digest(parameters: Mapping[str, object]) -> str:
-    """Stable, human-readable identity of a parameter point.
-
-    Part of the checkpoint fingerprint: two runs of the same-named experiment
-    at different parameter points must never share a checkpoint.
-    """
-    return repr(sorted((str(key), repr(value)) for key, value in parameters.items()))
 
 
 @dataclass(frozen=True)
@@ -161,16 +153,16 @@ def run_sharded(
         store = CheckpointStore(checkpoint_dir)
         load_start = time.perf_counter()
         completed = store.initialize(
-            {
-                "experiment": experiment.name,
-                "parameters": _parameters_digest(experiment.parameters),
-                "budget": budget,
-                "shard_size": shards[0].size,
-                "num_shards": len(shards),
-                "collect_values": collect_values,
-                "reservoir_capacity": reservoir_capacity,
-                "seed": seeds.fingerprint(),
-            }
+            checkpoint_fingerprint(
+                experiment=experiment.name,
+                parameters=experiment.parameters,
+                budget=budget,
+                shard_size=shards[0].size,
+                num_shards=len(shards),
+                collect_values=collect_values,
+                reservoir_capacity=reservoir_capacity,
+                seed=seeds.fingerprint(),
+            )
         )
         if recs:
             load_ms = (time.perf_counter() - load_start) * 1e3

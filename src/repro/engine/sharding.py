@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..utils.fingerprint import seed_fingerprint
 from ..utils.seeding import SeedLike, derive_seed_sequence
 from ..utils.validation import check_positive_int
 
@@ -134,4 +135,4 @@ class SeedPlan:
 
     def fingerprint(self) -> str:
         """Stable identifier of the master seed, used by checkpoint metadata."""
-        return f"entropy={self.sequence.entropy!r};spawn_key={self.spawn_key!r}"
+        return seed_fingerprint(self.sequence.entropy, self.spawn_key)

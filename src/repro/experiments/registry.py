@@ -471,10 +471,75 @@ def _profile_main(argv: Sequence[str]) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# the `serve` command
+# --------------------------------------------------------------------- #
+def _serve_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description=(
+            "Run the analysis service: an HTTP daemon over the persistent "
+            "artifact store.  POST /scenarios submits runs through the "
+            "checkpointing engine, GET /results/{fingerprint} serves stored "
+            "summaries, POST /query answers per-network analytical queries "
+            "from a bounded cache of live analysis handles."
+        ),
+    )
+    parser.add_argument(
+        "--data-dir", default="./service-data", metavar="DIR",
+        help=(
+            "root of persistent state: the SQLite store plus per-run engine "
+            "checkpoint directories (default: ./service-data)"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8350,
+        help="bind port; 0 picks an ephemeral port (default: 8350)",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=None, metavar="N",
+        dest="cache_capacity",
+        help="live analysis handles kept resident (default: 32)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="engine worker processes per scenario run (default: serial)",
+    )
+    _add_kernel_backend_option(parser)
+    _add_tile_size_option(parser)
+    args = parser.parse_args(argv)
+    from ..service import serve as build_server
+
+    # The scopes hold for the server's whole lifetime, so the job worker and
+    # every query thread compute on the selected backend / tile size.
+    with _kernel_backend_scope(args), _tile_size_scope(args):
+        server = build_server(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            cache_capacity=args.cache_capacity,
+            engine_jobs=args.jobs,
+            kernel_backend=args.kernel_backend,
+            tile_size=args.tile_size,
+        )
+        print(f"serving on {server.url} (data: {args.data_dir})", flush=True)
+        server.serve_forever()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     enable_console_logging()
+    if argv and argv[0] == "serve":
+        try:
+            return _serve_main(argv[1:])
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if argv and argv[0] == "scenario":
         try:
             return _scenario_main(argv[1:])

@@ -32,6 +32,7 @@ from .specs import (
     ScenarioScale,
     SweepBlock,
     eval_param_expr,
+    normalize_param_expr,
 )
 from .families import GRAPH_FAMILIES, SIZED_FAMILIES, register_family
 from .labelmodels import LABEL_MODELS, register_label_model
@@ -62,6 +63,7 @@ __all__ = [
     "ScenarioScale",
     "SweepBlock",
     "eval_param_expr",
+    "normalize_param_expr",
     # registries
     "GRAPH_FAMILIES",
     "SIZED_FAMILIES",

@@ -28,6 +28,7 @@ from ..exceptions import ConfigurationError
 
 __all__ = [
     "eval_param_expr",
+    "normalize_param_expr",
     "GraphFamilySpec",
     "LabelModelSpec",
     "MetricSpec",
@@ -81,6 +82,37 @@ def eval_param_expr(expr: Any, params: Mapping[str, Any]) -> Any:
     for value in values:
         product = product * value
     return product
+
+
+def normalize_param_expr(expr: Any) -> Any:
+    """Canonical form of a parameter expression (for fingerprinting).
+
+    ``"multiplier*n"``, ``"multiplier * n"`` and ``" multiplier  *  n "``
+    evaluate identically, so they must fingerprint identically too.  Factor
+    *order* is preserved — float products are evaluated left to right and
+    reordering could change the last ulp.  Non-string values pass through
+    unchanged; numeric literal tokens are normalised through ``int``/``float``
+    round-trips (``"04"`` → ``"4"``).
+    """
+    if not isinstance(expr, str):
+        return expr
+    tokens = [token.strip() for token in expr.split("*")]
+    if not tokens or any(not token for token in tokens):
+        raise ConfigurationError(f"malformed parameter expression {expr!r}")
+    canonical = []
+    for token in tokens:
+        try:
+            canonical.append(repr(int(token)))
+            continue
+        except ValueError:
+            pass
+        try:
+            canonical.append(repr(float(token)))
+            continue
+        except ValueError:
+            pass
+        canonical.append(token)
+    return " * ".join(canonical)
 
 
 def _plain(mapping: Mapping[str, Any]) -> dict[str, Any]:
@@ -388,6 +420,57 @@ class Scenario:
             default_seed=self.default_seed,
             rngs_per_point=self.rngs_per_point,
         )
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    def fingerprint_payload(self) -> dict[str, Any]:
+        """The pure-data identity this scenario fingerprints over.
+
+        Covers everything that shapes the *results*: the effective experiment
+        name, the three grid coordinates (with parameter expressions
+        normalised via :func:`normalize_param_expr`), the scale presets, the
+        mode, the default seed and the direct-mode RNG quota.  ``title`` and
+        ``description`` are cosmetic and deliberately excluded — rewording a
+        docstring must not orphan stored results.
+        """
+        return {
+            "kind": "scenario-v1",
+            "experiment": self.experiment_name or self.name,
+            "graph": {
+                "family": self.graph.family,
+                "params": {
+                    str(key): normalize_param_expr(value)
+                    for key, value in self.graph.params.items()
+                },
+            },
+            "labels": {
+                "model": self.labels.model,
+                "labels_per_edge": normalize_param_expr(self.labels.labels_per_edge),
+                "lifetime": normalize_param_expr(self.labels.lifetime),
+                "distribution": (
+                    _plain(self.labels.distribution)
+                    if self.labels.distribution is not None
+                    else None
+                ),
+                "options": _plain(self.labels.options),
+            },
+            "metrics": self.metrics.to_list(),
+            "scales": {key: value.to_dict() for key, value in self.scales.items()},
+            "mode": self.mode,
+            "default_seed": self.default_seed,
+            "rngs_per_point": self.rngs_per_point,
+        }
+
+    def fingerprint(self) -> str:
+        """Canonical hex digest of this workload (see :meth:`fingerprint_payload`).
+
+        Stable across dict-key insertion order, JSON round-trips and parameter
+        -expression whitespace — the artifact-store/cache key primitive.
+        """
+        from ..utils.fingerprint import fingerprint as _digest
+
+        return _digest(self.fingerprint_payload())
 
     # ------------------------------------------------------------------ #
     # serialisation

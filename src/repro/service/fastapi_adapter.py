@@ -1,0 +1,96 @@
+"""Optional FastAPI adapter over the same :class:`~repro.service.app.ServiceApp`.
+
+FastAPI is **not** a dependency of this repository — the service's canonical
+transport is the stdlib daemon in :mod:`repro.service.http_stdlib`.  This
+module exists for deployments that already run a FastAPI/ASGI stack and want
+the service mounted there: it builds a ``FastAPI`` application whose routes
+call the *exact same* app handler methods the stdlib transport does, so the
+two transports cannot diverge.
+
+Importing this module is safe without FastAPI installed;
+:func:`create_fastapi_app` raises :class:`~repro.exceptions.ConfigurationError`
+at call time when the dependency is missing.
+
+Usage::
+
+    from repro.service import ServiceApp
+    from repro.service.fastapi_adapter import create_fastapi_app
+
+    app = ServiceApp(data_dir="./service-data")
+    asgi = create_fastapi_app(app)   # uvicorn my_module:asgi
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import ConfigurationError
+from .app import ServiceApp, ServiceError
+
+__all__ = ["fastapi_available", "create_fastapi_app"]
+
+
+def fastapi_available() -> bool:
+    """Whether the optional FastAPI dependency is importable."""
+    try:
+        import fastapi  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def create_fastapi_app(app: ServiceApp) -> Any:
+    """Wrap a :class:`ServiceApp` in a FastAPI application (same routes).
+
+    Raises
+    ------
+    ConfigurationError
+        When FastAPI is not installed in this environment.
+    """
+    try:
+        from fastapi import FastAPI, Request
+        from fastapi.responses import JSONResponse
+    except ImportError as exc:  # pragma: no cover - exercised via stub in tests
+        raise ConfigurationError(
+            "the FastAPI adapter requires the optional 'fastapi' dependency; "
+            "install it or use the stdlib transport "
+            "(repro.service.http_stdlib.serve)"
+        ) from exc
+
+    api = FastAPI(title="repro analysis service", version="1.0")
+
+    @api.exception_handler(ServiceError)
+    async def _service_error(request: Request, exc: ServiceError) -> JSONResponse:
+        del request
+        app.recorder.counter("service.http.errors")
+        return JSONResponse(status_code=exc.status, content=exc.to_payload())
+
+    @api.post("/scenarios", status_code=202)
+    async def submit_scenario(request: Request) -> dict[str, Any]:
+        return app.submit_scenario(await request.json())
+
+    @api.get("/jobs/{job_id}")
+    async def job_status(job_id: str) -> dict[str, Any]:
+        return app.job_status(job_id)
+
+    @api.post("/jobs/{job_id}/cancel")
+    async def cancel_job(job_id: str) -> dict[str, Any]:
+        return app.cancel_job(job_id)
+
+    @api.get("/results/{fingerprint}")
+    async def result(fingerprint: str) -> dict[str, Any]:
+        return app.result(fingerprint)
+
+    @api.post("/query")
+    async def query(request: Request) -> dict[str, Any]:
+        return app.query(await request.json())
+
+    @api.get("/healthz")
+    async def healthz() -> dict[str, Any]:
+        return app.healthz()
+
+    @api.get("/stats")
+    async def stats() -> dict[str, Any]:
+        return app.stats()
+
+    return api

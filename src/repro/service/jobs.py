@@ -1,0 +1,352 @@
+"""Asynchronous scenario jobs over the checkpointing parallel engine.
+
+The :class:`JobManager` is the service's write path: a scenario submission
+becomes a job that runs through :func:`repro.scenarios.run_scenario` on a
+dedicated worker thread, with
+
+* **dedup by fingerprint** — a submission whose
+  :func:`~repro.service.store.run_fingerprint` already has a completed row in
+  the :class:`~repro.service.store.ArtifactStore` is answered from the store
+  instantly (``from_store=True``), with zero new sweep computes;
+* **progress** — the engine's shard-completion hook is folded into one
+  monotone fraction across every sweep point of the run;
+* **cancellation** — cooperative, checked between shards; a cancelled run
+  keeps its completed shards on disk, so resubmission resumes;
+* **crash-resume** — the engine checkpoint directory is derived from the run
+  fingerprint under the service data dir.  A submission that finds shards
+  from a dead process verifies their fingerprint and re-executes only the
+  remainder; the merged result is bit-identical to an uninterrupted run
+  (the engine's determinism contract, re-pinned at the service level by
+  ``tests/test_service_jobs.py``).
+
+Jobs execute strictly one at a time in submission order — determinism and
+bounded memory over throughput; the *engine* parallelism (``engine_jobs``)
+is where cores go.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, ContextManager
+
+from .. import telemetry
+from ..exceptions import ConfigurationError
+from ..scenarios import Scenario, run_scenario
+from ..utils.logging import get_logger
+from .store import ArtifactStore, run_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import TelemetryRecorder
+
+__all__ = ["JobCancelled", "JobManager", "JOB_STATES"]
+
+_LOGGER = get_logger("service.jobs")
+
+#: Job lifecycle states, in rough order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class JobCancelled(Exception):
+    """Raised inside the engine progress hook to abort a cancelled job."""
+
+
+@dataclass
+class _Job:
+    """Mutable job record; every field is guarded by the manager lock."""
+
+    id: str
+    fingerprint: str
+    scenario: Scenario
+    scale: str
+    seed: int | None
+    state: str = "queued"
+    progress: float = 0.0
+    error: str | None = None
+    from_store: bool = False
+    resumed_from_checkpoint: bool = False
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    points_total: int = 1
+    points_done: int = 0
+    cancel_requested: bool = False
+
+    def __post_init__(self) -> None:
+        self.done_event = threading.Event()
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-compatible snapshot (what ``GET /jobs/{id}`` serves)."""
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "scenario_name": self.scenario.name,
+            "scale": self.scale,
+            "seed": self.seed,
+            "state": self.state,
+            "progress": round(self.progress, 6),
+            "error": self.error,
+            "from_store": self.from_store,
+            "resumed_from_checkpoint": self.resumed_from_checkpoint,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+def _scenario_points(scenario: Scenario, scale: str) -> int:
+    """Number of engine runs one scenario run performs (sweep points)."""
+    return sum(len(block.points()) for block in scenario.scale(scale).blocks)
+
+
+class JobManager:
+    """Runs submitted scenarios asynchronously; see the module docstring."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        *,
+        data_dir: str | Path,
+        engine_jobs: int | None = None,
+        recorder: "TelemetryRecorder | None" = None,
+    ) -> None:
+        self._store = store
+        self._data_dir = Path(data_dir)
+        self._engine_jobs = engine_jobs
+        self._recorder = recorder
+        self._jobs: dict[str, _Job] = {}
+        self._lock = threading.RLock()
+        self._queue: "queue.Queue[str | None]" = queue.Queue()
+        self._ids = itertools.count(1)
+        self._worker = threading.Thread(
+            target=self._loop, name="repro-service-jobs", daemon=True
+        )
+        self._worker.start()
+
+    @property
+    def store(self) -> ArtifactStore:
+        """The persistent store completed runs land in."""
+        return self._store
+
+    @property
+    def engine_jobs(self) -> int | None:
+        """Worker processes each scenario run fans out over (None = serial)."""
+        return self._engine_jobs
+
+    def checkpoint_dir(self, fingerprint: str) -> Path:
+        """Engine checkpoint directory of one run fingerprint."""
+        return self._data_dir / "checkpoints" / fingerprint
+
+    def _telemetry_scope(self) -> ContextManager[Any]:
+        if self._recorder is None:
+            return nullcontext(None)
+        return telemetry.attach(self._recorder)
+
+    def _counter(self, name: str, value: int = 1) -> None:
+        if self._recorder is not None:
+            self._recorder.counter(name, value)
+        for rec in telemetry.active():
+            if rec is not self._recorder:
+                rec.counter(name, value)
+
+    # ------------------------------------------------------------------ #
+    # submission and queries
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, scenario: Scenario, *, scale: str = "default", seed: int | None = None
+    ) -> dict[str, Any]:
+        """Submit one scenario run; returns the job snapshot immediately.
+
+        ``seed=None`` resolves to the scenario's ``default_seed`` *before*
+        fingerprinting, so defaulted and explicit submissions of the same run
+        share identity.  A fingerprint whose results are already stored is
+        answered as an immediately-``done`` job served ``from_store``; a
+        fingerprint with a failed (or crashed mid-flight) row is re-queued
+        and resumes from its checkpoint shards.
+        """
+        scenario.scale(scale)  # validate the scale preset up front
+        resolved_seed = seed if seed is not None else scenario.default_seed
+        fingerprint = run_fingerprint(scenario, scale, resolved_seed)
+        with self._lock:
+            job = _Job(
+                id=f"job-{next(self._ids):04d}",
+                fingerprint=fingerprint,
+                scenario=scenario,
+                scale=scale,
+                seed=resolved_seed,
+                submitted_at=time.time(),
+                points_total=max(1, _scenario_points(scenario, scale)),
+            )
+            self._jobs[job.id] = job
+
+            existing = self._store.get_run(fingerprint, _count=False)
+            if existing is not None and existing.done:
+                job.state = "done"
+                job.progress = 1.0
+                job.from_store = True
+                job.finished_at = job.submitted_at
+                job.done_event.set()
+                self._counter("service.store.hit")
+                self._counter("service.jobs.store_hits")
+                return job.to_payload()
+
+            # Claim (or re-claim) the row, then queue the actual work.
+            if existing is None:
+                self._store.begin_run(
+                    fingerprint,
+                    scenario_name=scenario.name,
+                    scale=scale,
+                    seed=resolved_seed,
+                    scenario_json=scenario.to_json(indent=None),
+                )
+            else:
+                self._store.reset_run(fingerprint)
+            self._counter("service.jobs.submitted")
+            self._queue.put(job.id)
+            return job.to_payload()
+
+    def status(self, job_id: str) -> dict[str, Any] | None:
+        """Snapshot of one job, or ``None`` for an unknown id."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job.to_payload() if job is not None else None
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Snapshots of every job this manager has seen, in submission order."""
+        with self._lock:
+            return [job.to_payload() for job in self._jobs.values()]
+
+    def counts(self) -> dict[str, int]:
+        """Per-state job counts (the /stats payload)."""
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Request cooperative cancellation (takes effect between shards)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ConfigurationError(f"unknown job {job_id!r}")
+            if job.state in ("queued", "running"):
+                job.cancel_requested = True
+            return job.to_payload()
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict[str, Any]:
+        """Block until a job reaches a terminal state (or the timeout)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ConfigurationError(f"unknown job {job_id!r}")
+        job.done_event.wait(timeout)
+        with self._lock:
+            return job.to_payload()
+
+    def shutdown(self, *, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop the worker after the current job (idempotent)."""
+        self._queue.put(None)
+        if wait and self._worker.is_alive():
+            self._worker.join(timeout)
+
+    # ------------------------------------------------------------------ #
+    # the worker
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs[job_id]
+            try:
+                self._execute(job)
+            except Exception:  # pragma: no cover - defensive: keep the worker alive
+                _LOGGER.exception("job %s: unexpected worker error", job_id)
+
+    def _progress_hook(self, job: _Job):
+        def hook(completed: int, total: int, repetitions_done: int) -> None:
+            del repetitions_done
+            if job.cancel_requested:
+                raise JobCancelled(job.id)
+            with self._lock:
+                fraction = completed / total if total else 1.0
+                job.progress = min(
+                    1.0, (job.points_done + fraction) / job.points_total
+                )
+                if completed >= total:
+                    job.points_done += 1
+
+        return hook
+
+    def _execute(self, job: _Job) -> None:
+        with self._lock:
+            if job.cancel_requested:
+                job.state = "cancelled"
+                job.finished_at = time.time()
+                job.done_event.set()
+                self._counter("service.jobs.cancelled")
+                return
+            job.state = "running"
+            job.started_at = time.time()
+
+        checkpoint_dir: Path | None = None
+        progress = None
+        if job.scenario.mode == "montecarlo" and job.seed is not None:
+            checkpoint_dir = self.checkpoint_dir(job.fingerprint)
+            progress = self._progress_hook(job)
+            if any(checkpoint_dir.glob("**/shard-*.json")):
+                with self._lock:
+                    job.resumed_from_checkpoint = True
+                self._counter("service.jobs.resumed")
+
+        start = time.perf_counter()
+        try:
+            with self._telemetry_scope():
+                result = run_scenario(
+                    job.scenario,
+                    scale=job.scale,
+                    seed=job.seed,
+                    jobs=self._engine_jobs,
+                    checkpoint_dir=checkpoint_dir,
+                    progress=progress,
+                )
+            elapsed = time.perf_counter() - start
+            self._store.complete_run(
+                job.fingerprint,
+                records=result.to_records(),
+                timings={"run_s": elapsed},
+            )
+            with self._lock:
+                job.state = "done"
+                job.progress = 1.0
+            self._counter("service.jobs.completed")
+            if self._recorder is not None:
+                self._recorder.observe_ms("service.job_run_ms", elapsed * 1e3)
+        except JobCancelled:
+            self._store.fail_run(job.fingerprint, "cancelled")
+            with self._lock:
+                job.state = "cancelled"
+            self._counter("service.jobs.cancelled")
+            _LOGGER.info("job %s: cancelled (checkpoint shards kept)", job.id)
+        except Exception as exc:
+            self._store.fail_run(job.fingerprint, f"{type(exc).__name__}: {exc}")
+            with self._lock:
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+            self._counter("service.jobs.failed")
+            _LOGGER.exception("job %s: failed", job.id)
+        finally:
+            with self._lock:
+                job.finished_at = time.time()
+            job.done_event.set()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"JobManager(jobs={len(self._jobs)}, queue={self._queue.qsize()})"

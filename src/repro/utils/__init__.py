@@ -1,4 +1,4 @@
-"""Shared utilities: validation, seeding, timing and logging helpers."""
+"""Shared utilities: validation, seeding, fingerprinting, timing and logging."""
 
 from .validation import (
     check_fraction,
@@ -7,6 +7,7 @@ from .validation import (
     check_probability,
     check_square_matrix,
 )
+from .fingerprint import canonical_json, fingerprint, graph_fingerprint
 from .seeding import SeedLike, normalize_rng, spawn_rngs
 from .timing import Timer, format_duration
 from .logging import get_logger
@@ -17,6 +18,9 @@ __all__ = [
     "check_positive_int",
     "check_probability",
     "check_square_matrix",
+    "canonical_json",
+    "fingerprint",
+    "graph_fingerprint",
     "SeedLike",
     "normalize_rng",
     "spawn_rngs",

@@ -75,6 +75,25 @@ class TestApiDocDrift:
             f"stale in docs: {sorted(documented - actual)}"
         )
 
+    def test_service_all_matches_documented_surface(self):
+        import repro.service
+
+        documented = _documented_names("Service exports")
+        actual = set(repro.service.__all__)
+        assert documented == actual, (
+            f"docs/api.md and repro.service.__all__ drifted apart; "
+            f"undocumented: {sorted(actual - documented)}; "
+            f"stale in docs: {sorted(documented - actual)}"
+        )
+
+    def test_service_all_names_resolve(self):
+        import repro.service
+
+        for name in repro.service.__all__:
+            assert hasattr(repro.service, name), (
+                f"repro.service.__all__ lists {name} but it is missing"
+            )
+
 
 def test_quickstart_snippet_from_docstring():
     clique = repro.complete_graph(32, directed=True)

@@ -1,0 +1,250 @@
+"""The async job manager: lifecycle, dedup, cancellation, crash-resume.
+
+The two pins at the bottom are the service's reason to exist:
+
+* a second submission of the same ``(scenario, scale, seed)`` is served from
+  the store with **zero** new sweep computes (kernel counters frozen);
+* a run killed mid-flight resumes from its checkpoint shards to records
+  bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import Scenario, get_scenario, run_scenario
+from repro.service.jobs import JobManager
+from repro.service.store import ArtifactStore, run_fingerprint
+from repro.telemetry import TelemetryRecorder
+
+QUICK = {"scale": "quick"}
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    store = ArtifactStore(tmp_path / "store.sqlite3")
+    mgr = JobManager(
+        store, data_dir=tmp_path, recorder=TelemetryRecorder()
+    )
+    yield mgr
+    mgr.shutdown()
+
+
+def _submit_and_wait(mgr: JobManager, scenario, **kwargs):
+    snapshot = mgr.submit(scenario, **kwargs)
+    return mgr.wait(snapshot["id"], timeout=120)
+
+
+class TestLifecycle:
+    def test_queued_to_done(self, manager):
+        scenario = get_scenario("clique-temporal-centrality")
+        submitted = manager.submit(scenario, scale="quick")
+        assert submitted["state"] in ("queued", "running", "done")
+        finished = manager.wait(submitted["id"], timeout=120)
+        assert finished["state"] == "done"
+        assert finished["progress"] == 1.0
+        assert not finished["from_store"]
+        assert finished["started_at"] is not None
+        assert finished["finished_at"] >= finished["started_at"]
+
+    def test_done_job_persists_records_and_timings(self, manager):
+        scenario = get_scenario("clique-temporal-centrality")
+        finished = _submit_and_wait(manager, scenario, **QUICK)
+        record = manager.store.get_run(finished["fingerprint"])
+        assert record is not None and record.done
+        assert record.records  # one flat record per sweep point
+        assert record.timings is not None and record.timings["run_s"] > 0
+        assert record.scenario_name == "clique-temporal-centrality"
+        assert record.seed == scenario.default_seed
+
+    def test_default_seed_resolves_before_fingerprinting(self, manager):
+        scenario = get_scenario("clique-temporal-centrality")
+        implicit = manager.submit(scenario, scale="quick")
+        explicit = manager.submit(
+            scenario, scale="quick", seed=scenario.default_seed
+        )
+        assert implicit["fingerprint"] == explicit["fingerprint"]
+        manager.wait(implicit["id"], timeout=120)
+        manager.wait(explicit["id"], timeout=120)
+
+    def test_unknown_scale_rejected_synchronously(self, manager):
+        scenario = get_scenario("clique-temporal-centrality")
+        with pytest.raises(ConfigurationError):
+            manager.submit(scenario, scale="no-such-scale")
+
+    def test_unknown_job_queries_raise(self, manager):
+        assert manager.status("job-9999") is None
+        with pytest.raises(ConfigurationError):
+            manager.wait("job-9999")
+        with pytest.raises(ConfigurationError):
+            manager.cancel("job-9999")
+
+    def test_failed_job_records_error(self, manager, tmp_path):
+        scenario = get_scenario("clique-temporal-centrality")
+        data = scenario.to_dict()
+        data["name"] = "broken-metric"
+        data["metrics"] = [{"metric": "no-such-metric"}]
+        broken = Scenario.from_dict(data)
+        finished = _submit_and_wait(manager, broken, **QUICK)
+        assert finished["state"] == "failed"
+        assert "no-such-metric" in finished["error"]
+        record = manager.store.get_run(finished["fingerprint"])
+        assert record.status == "failed" and "no-such-metric" in record.error
+
+    def test_counts_by_state(self, manager):
+        scenario = get_scenario("clique-temporal-centrality")
+        _submit_and_wait(manager, scenario, **QUICK)
+        counts = manager.counts()
+        assert counts["done"] == 1 and counts["failed"] == 0
+
+    def test_direct_mode_scenario_runs_without_checkpointing(self, manager):
+        direct = get_scenario("E6")
+        assert direct.mode == "direct"
+        finished = _submit_and_wait(manager, direct, **QUICK)
+        assert finished["state"] == "done"
+        assert not manager.checkpoint_dir(finished["fingerprint"]).exists()
+
+
+class TestProgress:
+    def test_progress_reaches_one_monotonically(self, manager):
+        scenario = get_scenario("clique-temporal-centrality")
+        submitted = manager.submit(scenario, scale="quick")
+        finished = manager.wait(submitted["id"], timeout=120)
+        assert finished["progress"] == 1.0
+
+
+class TestCancellation:
+    def test_cancel_while_queued(self, manager):
+        scenario = get_scenario("clique-temporal-centrality")
+        # Occupy the worker so the second job is reliably still queued.
+        first = manager.submit(scenario, scale="quick")
+        second = manager.submit(scenario, scale="quick", seed=4242)
+        manager.cancel(second["id"])
+        manager.wait(first["id"], timeout=120)
+        finished = manager.wait(second["id"], timeout=120)
+        assert finished["state"] in ("cancelled", "done")
+        if finished["state"] == "cancelled":
+            assert finished["finished_at"] is not None
+
+    def test_cancel_mid_run_keeps_checkpoint_shards(self, manager):
+        scenario = get_scenario("clique-temporal-centrality")
+        data = scenario.to_dict()
+        data["name"] = "slow-centrality"
+        data["scales"]["quick"]["repetitions"] = 400
+        slow = Scenario.from_dict(data)
+        submitted = manager.submit(slow, scale="quick")
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            snapshot = manager.status(submitted["id"])
+            if snapshot["state"] == "running" and snapshot["progress"] > 0:
+                break
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.01)
+        manager.cancel(submitted["id"])
+        finished = manager.wait(submitted["id"], timeout=120)
+        assert finished["state"] == "cancelled"
+        record = manager.store.get_run(finished["fingerprint"])
+        assert record.status == "failed" and record.error == "cancelled"
+        # The partial shards survive for the resume path.
+        checkpoint = manager.checkpoint_dir(finished["fingerprint"])
+        assert any(checkpoint.glob("**/shard-*.json"))
+
+
+class TestStoreHitDedup:
+    def test_second_submission_serves_from_store_with_zero_computes(self, manager):
+        """The acceptance-criteria pin: identical resubmission = pure store hit."""
+        scenario = get_scenario("clique-temporal-centrality")
+        first = _submit_and_wait(manager, scenario, **QUICK)
+        assert first["state"] == "done" and not first["from_store"]
+        first_records = manager.store.get_run(first["fingerprint"]).records
+
+        recorder = manager._recorder
+        sweep_counters_before = {
+            name: count
+            for name, count in recorder.counters.items()
+            if "kernel" in name or "sweep" in name or name == "scenario.trials"
+        }
+
+        second = manager.submit(scenario, scale="quick")
+        assert second["state"] == "done"
+        assert second["from_store"]
+        assert second["progress"] == 1.0
+        assert second["fingerprint"] == first["fingerprint"]
+
+        # Bit-identical summaries out of the store...
+        second_records = manager.store.get_run(second["fingerprint"]).records
+        assert json.dumps(second_records, sort_keys=True) == json.dumps(
+            first_records, sort_keys=True
+        )
+        # ...and zero new sweep/trial computes anywhere in the process.
+        sweep_counters_after = {
+            name: count
+            for name, count in recorder.counters.items()
+            if "kernel" in name or "sweep" in name or name == "scenario.trials"
+        }
+        assert sweep_counters_after == sweep_counters_before
+        assert recorder.counters["service.jobs.store_hits"] == 1
+
+    def test_store_hit_survives_manager_restart(self, manager, tmp_path):
+        """A fresh manager over the same store dedups runs from past lives."""
+        scenario = get_scenario("clique-temporal-centrality")
+        first = _submit_and_wait(manager, scenario, **QUICK)
+        assert first["state"] == "done"
+
+        reborn = JobManager(manager.store, data_dir=tmp_path)
+        try:
+            second = reborn.submit(scenario, scale="quick")
+            assert second["state"] == "done" and second["from_store"]
+        finally:
+            reborn.shutdown()
+
+
+class TestCrashResume:
+    def test_killed_mid_run_resumes_to_bit_identical_records(self, manager, tmp_path):
+        """The acceptance-criteria pin: crash → resume → identical output."""
+        scenario = get_scenario("clique-temporal-centrality")
+        seed = scenario.default_seed
+        fingerprint = run_fingerprint(scenario, "quick", seed)
+
+        # The uninterrupted reference, straight through the pipeline.
+        reference = run_scenario(scenario, scale="quick", seed=seed).to_records()
+
+        # Simulate a crashed service: run directly into the manager's
+        # checkpoint directory for this fingerprint and die after the first
+        # completed shard (the idiom tests/test_parallel_determinism.py uses).
+        checkpoint = manager.checkpoint_dir(fingerprint)
+
+        class SimulatedCrash(RuntimeError):
+            pass
+
+        calls = {"count": 0}
+
+        def crash_after_first_shard(completed, total, repetitions_done):
+            calls["count"] += 1
+            if calls["count"] >= 1:
+                raise SimulatedCrash
+
+        with pytest.raises(SimulatedCrash):
+            run_scenario(
+                scenario,
+                scale="quick",
+                seed=seed,
+                checkpoint_dir=checkpoint,
+                progress=crash_after_first_shard,
+            )
+        assert any(checkpoint.glob("**/shard-*.json"))  # partial state on disk
+
+        # Resubmit through the manager: it must resume, not restart.
+        finished = _submit_and_wait(manager, scenario, scale="quick", seed=seed)
+        assert finished["state"] == "done"
+        assert finished["resumed_from_checkpoint"]
+
+        resumed = manager.store.get_run(fingerprint).records
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )

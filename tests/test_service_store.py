@@ -1,0 +1,277 @@
+"""The SQLite artifact store: schema migration, idempotency, WAL concurrency."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sqlite3
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import get_scenario
+from repro.service.store import (
+    _MIGRATIONS,
+    SCHEMA_VERSION,
+    ArtifactStore,
+    run_fingerprint,
+)
+from repro.telemetry import TelemetryRecorder, attach
+
+
+def _begin(store: ArtifactStore, fingerprint: str):
+    return store.begin_run(
+        fingerprint,
+        scenario_name="s",
+        scale="quick",
+        seed=1,
+        scenario_json="{}",
+    )
+
+
+class TestSchema:
+    def test_fresh_store_is_current_version(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        assert store.schema_version() == SCHEMA_VERSION == len(_MIGRATIONS)
+
+    def test_wal_mode_enabled(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        with store._connect() as conn:
+            mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_v1_database_migrates_in_place_keeping_rows(self, tmp_path):
+        """A database from the schema-v1 era upgrades on open, data intact."""
+        path = tmp_path / "store.sqlite3"
+        conn = sqlite3.connect(path)
+        conn.executescript(_MIGRATIONS[0])
+        conn.execute("PRAGMA user_version = 1")
+        conn.execute(
+            """
+            INSERT INTO runs (fingerprint, scenario_name, scale, seed, status,
+                              scenario_json, created_at, updated_at)
+            VALUES ('old-fp', 'legacy', 'quick', 7, 'done', '{}', 1.0, 2.0)
+            """
+        )
+        conn.commit()
+        conn.close()
+
+        store = ArtifactStore(path)
+        assert store.schema_version() == SCHEMA_VERSION
+        record = store.get_run("old-fp")
+        assert record is not None and record.scenario_name == "legacy"
+        # The v2 table exists and accepts rows for the migrated run.
+        store.add_artifact("old-fp", "matrix", "/tmp/matrix.npy")
+        assert store.get_run("old-fp").artifacts == {"matrix": "/tmp/matrix.npy"}
+
+    def test_newer_schema_is_refused_not_corrupted(self, tmp_path):
+        path = tmp_path / "store.sqlite3"
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ConfigurationError, match="newer"):
+            ArtifactStore(path)
+
+
+class TestRunLifecycle:
+    def test_begin_complete_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        record, created = _begin(store, "fp-1")
+        assert created and record.status == "running" and not record.done
+        records = [{"n": 16, "mean": 0.5}]
+        done = store.complete_run("fp-1", records=records, timings={"run_s": 0.25})
+        assert done.done and done.records == records
+        assert done.timings == {"run_s": 0.25}
+
+    def test_same_fingerprint_lands_on_same_row(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        first, created_first = _begin(store, "fp-1")
+        store.complete_run("fp-1", records=[{"v": 1}])
+        second, created_second = _begin(store, "fp-1")
+        assert created_first and not created_second
+        assert second.done and second.records == [{"v": 1}]
+        assert second.created_at == first.created_at
+        assert store.counts()["runs"] == 1
+
+    def test_fail_then_reset_resubmits(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        _begin(store, "fp-1")
+        failed = store.fail_run("fp-1", "boom")
+        assert failed.status == "failed" and failed.error == "boom"
+        store.reset_run("fp-1")
+        record = store.get_run("fp-1")
+        assert record.status == "running" and record.error is None
+
+    def test_reset_never_demotes_a_done_run(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        _begin(store, "fp-1")
+        store.complete_run("fp-1", records=[])
+        store.reset_run("fp-1")
+        assert store.get_run("fp-1").done
+
+    def test_finish_unknown_fingerprint_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        with pytest.raises(ConfigurationError, match="unknown run"):
+            store.complete_run("ghost", records=[])
+
+    def test_artifact_requires_known_run(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        with pytest.raises(ConfigurationError, match="unknown run"):
+            store.add_artifact("ghost", "m", "/tmp/m.npy")
+
+    def test_counts_breakdown(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        _begin(store, "a")
+        _begin(store, "b")
+        store.complete_run("b", records=[])
+        _begin(store, "c")
+        store.fail_run("c", "err")
+        assert store.counts() == {
+            "runs": 3,
+            "artifacts": 0,
+            "runs_running": 1,
+            "runs_done": 1,
+            "runs_failed": 1,
+        }
+
+    def test_iter_runs_newest_first(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        _begin(store, "a")
+        _begin(store, "b")
+        names = [record.fingerprint for record in store.iter_runs()]
+        assert set(names) == {"a", "b"}
+
+    def test_store_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        recorder = TelemetryRecorder()
+        with attach(recorder):
+            _begin(store, "fp-1")      # insert
+            _begin(store, "fp-1")      # hit
+            store.get_run("fp-1")      # hit
+            store.get_run("ghost")     # miss
+        assert recorder.counters["service.store.insert"] == 1
+        assert recorder.counters["service.store.hit"] == 2
+        assert recorder.counters["service.store.miss"] == 1
+
+
+class TestRunFingerprint:
+    def test_distinguishes_scale_and_seed(self):
+        scenario = get_scenario("clique-temporal-centrality")
+        base = run_fingerprint(scenario, "quick", 1)
+        assert base == run_fingerprint(scenario, "quick", 1)
+        assert base != run_fingerprint(scenario, "default", 1)
+        assert base != run_fingerprint(scenario, "quick", 2)
+
+
+# --------------------------------------------------------------------------- #
+# cross-process WAL behaviour
+# --------------------------------------------------------------------------- #
+def _writer_process(path: str, prefix: str, count: int) -> None:
+    store = ArtifactStore(path, busy_timeout_ms=10_000)
+    for index in range(count):
+        fingerprint = f"{prefix}-{index:03d}"
+        store.begin_run(
+            fingerprint,
+            scenario_name=prefix,
+            scale="quick",
+            seed=index,
+            scenario_json="{}",
+        )
+        store.complete_run(fingerprint, records=[{"i": index}])
+
+
+def _claimer_process(path: str, queue) -> None:
+    store = ArtifactStore(path, busy_timeout_ms=10_000)
+    _, created = store.begin_run(
+        "shared", scenario_name="s", scale="quick", seed=0, scenario_json="{}"
+    )
+    queue.put(created)
+
+
+class TestMultiProcess:
+    def test_two_writers_lose_no_rows(self, tmp_path):
+        """Two processes interleave writes through WAL; every row survives."""
+        path = str(tmp_path / "store.sqlite3")
+        ArtifactStore(path)  # create + migrate before forking
+        count = 25
+        workers = [
+            multiprocessing.Process(target=_writer_process, args=(path, prefix, count))
+            for prefix in ("alpha", "beta")
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        store = ArtifactStore(path)
+        rows = list(store.iter_runs())
+        assert len(rows) == 2 * count
+        assert all(record.done for record in rows)
+        assert store.counts()["runs_done"] == 2 * count
+
+    def test_concurrent_claim_creates_exactly_once(self, tmp_path):
+        """Two processes race begin_run on one fingerprint; one row, one creator."""
+        path = str(tmp_path / "store.sqlite3")
+        ArtifactStore(path)
+        queue: multiprocessing.Queue = multiprocessing.Queue()
+        claimers = [
+            multiprocessing.Process(target=_claimer_process, args=(path, queue))
+            for _ in range(2)
+        ]
+        for claimer in claimers:
+            claimer.start()
+        for claimer in claimers:
+            claimer.join(timeout=60)
+            assert claimer.exitcode == 0
+        created_flags = sorted(queue.get(timeout=10) for _ in range(2))
+        assert created_flags == [False, True]
+        assert ArtifactStore(path).counts()["runs"] == 1
+
+
+class TestBusyTimeout:
+    def test_short_timeout_errors_on_held_write_lock(self, tmp_path):
+        path = tmp_path / "store.sqlite3"
+        store = ArtifactStore(path, busy_timeout_ms=100)
+        blocker = sqlite3.connect(path)
+        try:
+            blocker.execute("BEGIN IMMEDIATE")
+            with pytest.raises(sqlite3.OperationalError):
+                _begin(store, "fp-blocked")
+        finally:
+            blocker.rollback()
+            blocker.close()
+
+    def test_long_timeout_waits_out_the_lock(self, tmp_path):
+        path = tmp_path / "store.sqlite3"
+        store = ArtifactStore(path, busy_timeout_ms=10_000)
+        blocker = sqlite3.connect(path, check_same_thread=False)
+        blocker.execute("BEGIN IMMEDIATE")
+        release = threading.Timer(0.3, blocker.rollback)
+        release.start()
+        try:
+            record, created = _begin(store, "fp-waited")
+            assert created and record.status == "running"
+        finally:
+            release.join()
+            blocker.close()
+
+
+class TestRecordsRoundTrip:
+    def test_records_and_timings_are_json_faithful(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.sqlite3")
+        _begin(store, "fp-1")
+        records = [
+            {"n": 16, "metric_mean": 0.123456789, "label": "point-a"},
+            {"n": 32, "metric_mean": 0.987654321, "label": "point-b"},
+        ]
+        store.complete_run("fp-1", records=records, timings={"run_s": 1.5})
+        loaded = store.get_run("fp-1")
+        assert loaded.records == records
+        assert json.dumps(loaded.records, sort_keys=True) == json.dumps(
+            records, sort_keys=True
+        )
+        payload = loaded.to_payload()
+        json.dumps(payload)  # the HTTP layer serialises this directly
+        assert payload["status"] == "done"
